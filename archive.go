@@ -1,0 +1,33 @@
+package spartan
+
+import (
+	"io"
+
+	"repro/internal/archive"
+)
+
+// Block archives: tables far larger than memory compress in bounded space
+// by feeding rows in blocks, each independently semantically compressed.
+
+// ArchiveWriter appends independently compressed blocks to a stream.
+type ArchiveWriter = archive.Writer
+
+// ArchiveReader iterates the blocks of an archive.
+type ArchiveReader = archive.Reader
+
+// NewArchiveWriter starts an archive on w; the options apply to every
+// block (prefer absolute tolerances so all blocks enforce one bound).
+func NewArchiveWriter(w io.Writer, opts Options) (*ArchiveWriter, error) {
+	return archive.NewWriter(w, opts)
+}
+
+// NewArchiveReader opens an archive for block-at-a-time reading.
+func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
+	return archive.NewReader(r)
+}
+
+// ReadArchive decompresses a whole archive into one table (rows in block
+// order).
+func ReadArchive(r io.Reader) (*Table, error) {
+	return archive.ReadAll(r)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestRunWritesAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, ds := range []string{"census", "corel", "forest", "cdr"} {
+		out := filepath.Join(dir, ds+".bin")
+		if err := run(ds, 200, out, 1); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := spartan.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if tb.NumRows() != 200 {
+			t.Errorf("%s: rows = %d", ds, tb.NumRows())
+		}
+	}
+	// CSV output too.
+	csvOut := filepath.Join(dir, "c.csv")
+	if err := run("cdr", 50, csvOut, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := spartan.ReadCSV(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", 10, filepath.Join(dir, "x"), 1); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if err := run("cdr", 10, "", 1); err == nil {
+		t.Error("accepted empty output")
+	}
+	if err := run("cdr", 0, filepath.Join(dir, "x"), 1); err == nil {
+		t.Error("accepted zero rows")
+	}
+	if err := run("mystery", 10, filepath.Join(dir, "x"), 1); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+// archiveMagic mirrors internal/archive's stream magic for auto-detection.
+const archiveMagic = "SPARC1\n"
+
+// readCompressedFile decompresses either a single-stream file or a block
+// archive, detected by magic.
+func readCompressedFile(path string) (*spartan.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(archiveMagic))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if bytes.Equal(head, []byte(archiveMagic)) {
+		return spartan.ReadArchive(br)
+	}
+	return spartan.Decompress(br)
+}
+
+// writeBlocks slices t into blockRows-sized row blocks and writes an
+// archive.
+func writeBlocks(w io.Writer, t *spartan.Table, opts spartan.Options, blockRows int) error {
+	aw, err := spartan.NewArchiveWriter(w, opts)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < t.NumRows(); lo += blockRows {
+		hi := lo + blockRows
+		if hi > t.NumRows() {
+			hi = t.NumRows()
+		}
+		rows := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			rows = append(rows, r)
+		}
+		block, err := t.SelectRows(rows)
+		if err != nil {
+			return err
+		}
+		stats, err := aw.WriteBlock(block)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "block %d: %d rows, ratio %.4f\n",
+			aw.Blocks(), block.NumRows(), stats.Ratio)
+	}
+	return aw.Close()
+}

@@ -1,0 +1,37 @@
+// Command spartand serves SPARTAN compression, decompression and bounded
+// approximate querying over HTTP.
+//
+//	spartand -addr :8080
+//
+//	curl -X POST --data-binary @table.csv -H 'Content-Type: text/csv' \
+//	    'localhost:8080/compress?tolerance=0.01' > table.sptn
+//	curl -X POST --data-binary @table.sptn \
+//	    'localhost:8080/query?agg=avg&col=charge&tolerance=0.01'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Compression of large uploads can legitimately take a while;
+		// bound only the idle phases.
+		IdleTimeout: 2 * time.Minute,
+	}
+	log.Printf("spartand listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

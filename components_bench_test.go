@@ -1,0 +1,157 @@
+package spartan
+
+// Per-component micro-benchmarks: the paper's §4.2 accounting attributes
+// 50-75% of SPARTAN's time to CaRT construction, ~20% to the
+// DependencyFinder, and the rest to full-table passes. These benches
+// expose each component so regressions are attributable.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bayesnet"
+	"repro/internal/cart"
+	"repro/internal/datagen"
+	"repro/internal/fascicle"
+	"repro/internal/gzipref"
+	"repro/internal/pzipref"
+	"repro/internal/table"
+	"repro/internal/wmis"
+)
+
+func BenchmarkBayesNetBuild(b *testing.B) {
+	t := datagen.Census(25000, 1)
+	rng := rand.New(rand.NewSource(1))
+	sample := t.Sample(1500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bayesnet.Build(sample, bayesnet.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCartBuildRegression(b *testing.B) {
+	t := datagen.Corel(4000, 1)
+	rng := rand.New(rand.NewSource(1))
+	sample := t.Sample(500, rng)
+	cm := cart.NewCostModel(t)
+	tol := 0.01 * t.Col(16).Range()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cart.Build(sample, 16, []int{14, 15, 17, 18}, tol, cm,
+			cart.Config{FullRows: t.NumRows()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCartBuildClassification(b *testing.B) {
+	t := datagen.Census(4000, 1)
+	rng := rand.New(rand.NewSource(1))
+	sample := t.Sample(1000, rng)
+	cm := cart.NewCostModel(t)
+	educIdx := t.Schema().Index("education")
+	yearsIdx := t.Schema().Index("educ_years")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cart.Build(sample, educIdx, []int{yearsIdx}, 0, cm,
+			cart.Config{FullRows: t.NumRows()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOutlierScan(b *testing.B) {
+	t := datagen.Corel(20000, 1)
+	rng := rand.New(rand.NewSource(1))
+	sample := t.Sample(500, rng)
+	cm := cart.NewCostModel(t)
+	tol := 0.01 * t.Col(16).Range()
+	m, _, err := cart.Build(sample, 16, []int{14, 15, 17, 18}, tol, cm,
+		cart.Config{FullRows: t.NumRows()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(t.NumRows() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ComputeOutliers(t, tol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFascicleCluster(b *testing.B) {
+	t := datagen.CDR(20000, 1)
+	widths := make([]float64, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		if t.Attr(i).Kind == table.Numeric {
+			widths[i] = 0.01 * t.Col(i).Range()
+		}
+	}
+	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fascicle.Cluster(t, fascicle.Params{Widths: widths}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWMISExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := wmis.NewGraph(40)
+	for v := 0; v < 40; v++ {
+		g.SetWeight(v, float64(1+rng.Intn(100)))
+	}
+	for u := 0; u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			if rng.Float64() < 0.15 {
+				if err := g.AddEdge(u, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wmis.SolveExact(g)
+	}
+}
+
+func BenchmarkGzipBaseline(b *testing.B) {
+	t := datagen.Census(20000, 1)
+	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gzipref.Compress(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPzipBaseline(b *testing.B) {
+	t := datagen.Census(20000, 1)
+	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pzipref.Compress(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryAggregate(b *testing.B) {
+	t := datagen.CDR(50000, 1)
+	tol := UniformTolerances(t, 0.01, 0)
+	q := Query{Agg: Avg, Column: "charge_cents",
+		Where: NumCmp("duration_sec", Gt, 200), GroupBy: "plan"}
+	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunQuery(t, tol, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

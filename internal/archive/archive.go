@@ -1,0 +1,207 @@
+// Package archive provides a multi-block container for SPARTAN streams,
+// so tables far larger than memory compress in bounded space: rows arrive
+// in blocks, each block is independently semantically compressed (its own
+// sample, models and outliers), and decompression concatenates blocks.
+//
+// Format: magic, then for each block a uvarint byte length followed by a
+// standard codec stream; a zero length terminates the archive. All blocks
+// must share one schema (attribute names and kinds); categorical
+// dictionaries may differ per block and are re-unified on read.
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+const magic = "SPARC1\n"
+
+// Writer appends independently compressed blocks to an archive stream.
+type Writer struct {
+	w      *bufio.Writer
+	opts   core.Options
+	schema table.Schema
+	blocks int
+	closed bool
+}
+
+// NewWriter starts an archive on w. The options apply to every block;
+// quantile-form tolerances are resolved per block against that block's
+// value ranges, so prefer absolute tolerances for cross-block consistency.
+func NewWriter(w io.Writer, opts core.Options) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, opts: opts}, nil
+}
+
+// WriteBlock compresses one block of rows. Every block must carry the
+// same schema.
+func (aw *Writer) WriteBlock(t *table.Table) (*core.Stats, error) {
+	if aw.closed {
+		return nil, fmt.Errorf("archive: writer is closed")
+	}
+	if aw.schema == nil {
+		aw.schema = t.Schema().Clone()
+	} else if err := sameSchema(aw.schema, t.Schema()); err != nil {
+		return nil, err
+	}
+	// Vary the sampling seed per block so pathological block orderings
+	// don't resample identical row offsets; determinism is preserved.
+	opts := aw.opts
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	opts.Seed += int64(aw.blocks)
+
+	var block countBuffer
+	stats, err := core.Compress(&block, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(block.data)))
+	if _, err := aw.w.Write(lenBuf[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := aw.w.Write(block.data); err != nil {
+		return nil, err
+	}
+	aw.blocks++
+	return stats, nil
+}
+
+// Blocks returns how many blocks have been written.
+func (aw *Writer) Blocks() int { return aw.blocks }
+
+// Close writes the terminator and flushes. The writer cannot be reused.
+func (aw *Writer) Close() error {
+	if aw.closed {
+		return nil
+	}
+	aw.closed = true
+	if err := aw.w.WriteByte(0); err != nil { // uvarint(0) terminator
+		return err
+	}
+	return aw.w.Flush()
+}
+
+type countBuffer struct{ data []byte }
+
+func (b *countBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func sameSchema(a, b table.Schema) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("archive: block has %d attributes, archive has %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("archive: block attribute %d is %v, archive has %v", i, b[i], a[i])
+		}
+	}
+	return nil
+}
+
+// Reader iterates the blocks of an archive.
+type Reader struct {
+	r      *bufio.Reader
+	schema table.Schema
+	done   bool
+}
+
+// NewReader opens an archive stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("archive: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("archive: bad magic %q", got)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decompresses the next block, or returns io.EOF after the
+// terminator.
+func (ar *Reader) Next() (*table.Table, error) {
+	if ar.done {
+		return nil, io.EOF
+	}
+	blockLen, err := binary.ReadUvarint(ar.r)
+	if err != nil {
+		return nil, fmt.Errorf("archive: reading block length: %w", err)
+	}
+	if blockLen == 0 {
+		ar.done = true
+		return nil, io.EOF
+	}
+	t, err := codec.Decode(io.LimitReader(ar.r, int64(blockLen)))
+	if err != nil {
+		return nil, fmt.Errorf("archive: decoding block: %w", err)
+	}
+	if ar.schema == nil {
+		ar.schema = t.Schema().Clone()
+	} else if err := sameSchema(ar.schema, t.Schema()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadAll decompresses every block and concatenates the rows in block
+// order (categorical dictionaries are re-unified).
+func ReadAll(r io.Reader) (*table.Table, error) {
+	ar, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var builder *table.Builder
+	appendBlock := func(t *table.Table) error {
+		if builder == nil {
+			builder, err = table.NewBuilder(t.Schema())
+			if err != nil {
+				return err
+			}
+		}
+		row := make([]any, t.NumCols())
+		for r := 0; r < t.NumRows(); r++ {
+			for c := 0; c < t.NumCols(); c++ {
+				if t.Attr(c).Kind == table.Numeric {
+					row[c] = t.Float(r, c)
+				} else {
+					row[c] = t.CatString(r, c)
+				}
+			}
+			if err := builder.AppendRow(row...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		t, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := appendBlock(t); err != nil {
+			return nil, err
+		}
+	}
+	if builder == nil {
+		return nil, fmt.Errorf("archive: no blocks")
+	}
+	return builder.Build()
+}

@@ -1,0 +1,208 @@
+package archive
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/table"
+)
+
+// splitBlocks slices a table into contiguous row blocks.
+func splitBlocks(t *testing.T, tb *table.Table, blockRows int) []*table.Table {
+	t.Helper()
+	var out []*table.Table
+	for lo := 0; lo < tb.NumRows(); lo += blockRows {
+		hi := lo + blockRows
+		if hi > tb.NumRows() {
+			hi = tb.NumRows()
+		}
+		rows := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			rows = append(rows, r)
+		}
+		block, err := tb.SelectRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, block)
+	}
+	return out
+}
+
+func TestArchiveRoundTripLossless(t *testing.T) {
+	tb := datagen.CDR(3000, 1)
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range splitBlocks(t, tb, 700) {
+		if _, err := aw.WriteBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aw.Blocks() != 5 {
+		t.Fatalf("blocks = %d, want 5", aw.Blocks())
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(tb, back) {
+		t.Error("lossless archive round trip changed the table")
+	}
+}
+
+func TestArchiveRoundTripLossy(t *testing.T) {
+	tb := datagen.CDR(4000, 2)
+	// Absolute tolerances so every block enforces the same bound.
+	tol := make(table.Tolerances, tb.NumCols())
+	for i := 0; i < tb.NumCols(); i++ {
+		if tb.Attr(i).Kind == table.Numeric {
+			tol[i] = table.Tolerance{Value: 0.01 * tb.Col(i).Range()}
+		}
+	}
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{Tolerances: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, block := range splitBlocks(t, tb, 1000) {
+		if _, err := aw.WriteBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := table.MaxAbsDiff(tb, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range diffs {
+		if d > tol[i].Value+1e-9 {
+			t.Errorf("attribute %d error %g > %g", i, d, tol[i].Value)
+		}
+	}
+}
+
+func TestArchiveIteratesBlocks(t *testing.T) {
+	tb := datagen.CDR(1500, 3)
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := splitBlocks(t, tb, 500)
+	for _, b := range blocks {
+		if _, err := aw.WriteBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		blk, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.Equal(blocks[count], blk) {
+			t.Errorf("block %d changed", count)
+		}
+		count++
+	}
+	if count != len(blocks) {
+		t.Errorf("iterated %d blocks, want %d", count, len(blocks))
+	}
+	// Next after EOF stays EOF.
+	if _, err := ar.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v", err)
+	}
+}
+
+func TestArchiveRejectsSchemaDrift(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.WriteBlock(datagen.CDR(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw.WriteBlock(datagen.Census(100, 1)); err == nil {
+		t.Error("WriteBlock accepted a different schema")
+	}
+}
+
+func TestArchiveWriterClosed(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := aw.WriteBlock(datagen.CDR(10, 1)); err == nil {
+		t.Error("WriteBlock accepted rows after Close")
+	}
+}
+
+func TestArchiveErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("NewReader accepted bad magic")
+	}
+	if _, err := ReadAll(bytes.NewReader([]byte(magic))); err == nil {
+		t.Error("ReadAll accepted missing terminator")
+	}
+	// Empty archive (just terminator): no blocks is an error for ReadAll.
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("ReadAll accepted empty archive")
+	}
+	// Truncated block payload.
+	var buf2 bytes.Buffer
+	aw2, err := NewWriter(&buf2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aw2.WriteBlock(datagen.CDR(50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf2.Bytes()
+	if _, err := ReadAll(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("ReadAll accepted truncated archive")
+	}
+}

@@ -1,0 +1,54 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want, eps float64 }{
+		{0.5, 0, 1e-8},
+		{0.975, 1.959964, 1e-4},
+		{0.995, 2.575829, 1e-4},
+		{0.025, -1.959964, 1e-4},
+		{0.001, -3.090232, 1e-4},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > c.eps {
+			t.Errorf("normalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("normalQuantile should be ±Inf at the boundaries")
+	}
+}
+
+func TestChiSquareQuantile(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		q    float64
+		dof  int
+		want float64
+		tol  float64 // Wilson-Hilferty is approximate
+	}{
+		{0.95, 1, 3.841, 0.15},
+		{0.95, 5, 11.070, 0.15},
+		{0.99, 10, 23.209, 0.2},
+		{0.995, 20, 39.997, 0.3},
+	}
+	for _, c := range cases {
+		got := chiSquareQuantile(c.q, c.dof)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("chiSquareQuantile(%g, %d) = %g, want %g ±%g",
+				c.q, c.dof, got, c.want, c.tol)
+		}
+	}
+	// dof < 1 clamps to 1.
+	if got := chiSquareQuantile(0.95, 0); math.Abs(got-3.841) > 0.2 {
+		t.Errorf("chiSquareQuantile with dof=0 = %g, want ≈3.841", got)
+	}
+	// Monotone in dof.
+	if chiSquareQuantile(0.95, 3) >= chiSquareQuantile(0.95, 30) {
+		t.Error("chiSquareQuantile not increasing in dof")
+	}
+}

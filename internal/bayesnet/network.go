@@ -1,0 +1,189 @@
+// Package bayesnet implements SPARTAN's DependencyFinder substrate: a
+// constraint-based Bayesian-network builder in the style of Cheng, Bell
+// and Liu (CIKM 1997), using mutual-information-divergence conditional-
+// independence tests in three phases (drafting, thickening, thinning),
+// followed by edge orientation.
+//
+// The network's role in SPARTAN (paper §3.1) is to expose, for each
+// attribute, a small "predictive neighborhood" — its parents π(Xᵢ) or its
+// Markov blanket β(Xᵢ) — that the CaRT selector searches over instead of
+// the exponential space of all predictor subsets.
+package bayesnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is a directed acyclic graph over the attributes of a table.
+// Node i corresponds to schema attribute i.
+type Network struct {
+	names    []string
+	parents  [][]int
+	children [][]int
+}
+
+// NewNetwork creates a network with the given node names and no edges.
+func NewNetwork(names []string) *Network {
+	return &Network{
+		names:    append([]string(nil), names...),
+		parents:  make([][]int, len(names)),
+		children: make([][]int, len(names)),
+	}
+}
+
+// NumNodes returns the number of attributes/nodes.
+func (g *Network) NumNodes() int { return len(g.names) }
+
+// Name returns the attribute name of node i.
+func (g *Network) Name(i int) string { return g.names[i] }
+
+// Parents returns the parent set π(Xᵢ). Callers must not modify it.
+func (g *Network) Parents(i int) []int { return g.parents[i] }
+
+// Children returns the children of node i. Callers must not modify it.
+func (g *Network) Children(i int) []int { return g.children[i] }
+
+// AddEdge inserts the directed edge u→v. It reports an error if the edge
+// would create a cycle or already exists.
+func (g *Network) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("bayesnet: self edge %d", u)
+	}
+	if u < 0 || u >= len(g.names) || v < 0 || v >= len(g.names) {
+		return fmt.Errorf("bayesnet: edge (%d,%d) out of range", u, v)
+	}
+	for _, p := range g.parents[v] {
+		if p == u {
+			return fmt.Errorf("bayesnet: edge %d→%d already present", u, v)
+		}
+	}
+	if g.reachable(v, u) {
+		return fmt.Errorf("bayesnet: edge %d→%d would create a cycle", u, v)
+	}
+	g.parents[v] = append(g.parents[v], u)
+	g.children[u] = append(g.children[u], v)
+	return nil
+}
+
+// reachable reports whether there is a directed path from to dst.
+func (g *Network) reachable(from, dst int) bool {
+	if from == dst {
+		return true
+	}
+	seen := make([]bool, len(g.names))
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.children[u] {
+			if w == dst {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// MarkovBlanket returns β(Xᵢ): parents, children and parents of children
+// (excluding i itself), sorted and de-duplicated.
+func (g *Network) MarkovBlanket(i int) []int {
+	set := make(map[int]struct{})
+	for _, p := range g.parents[i] {
+		set[p] = struct{}{}
+	}
+	for _, c := range g.children[i] {
+		set[c] = struct{}{}
+		for _, cp := range g.parents[c] {
+			if cp != i {
+				set[cp] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopoOrder returns a topological ordering of the nodes (roots first).
+// The ordering is deterministic: ties break by node index.
+func (g *Network) TopoOrder() []int {
+	n := len(g.names)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.parents[v])
+	}
+	// Min-index-first frontier for determinism.
+	frontier := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, w := range g.children[u] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("bayesnet: cycle in supposedly acyclic network")
+	}
+	return order
+}
+
+// Edges returns all directed edges as (from, to) pairs sorted
+// lexicographically.
+func (g *Network) Edges() [][2]int {
+	var out [][2]int
+	for v := range g.parents {
+		for _, u := range g.parents[v] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the edge count.
+func (g *Network) NumEdges() int {
+	n := 0
+	for _, ps := range g.parents {
+		n += len(ps)
+	}
+	return n
+}
+
+// String renders the network as "name <- parent, parent" lines, useful in
+// logs and debug output.
+func (g *Network) String() string {
+	s := ""
+	for v := range g.names {
+		s += g.names[v] + " <-"
+		for _, p := range g.parents[v] {
+			s += " " + g.names[p]
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+// Package cart implements SPARTAN's CaRTBuilder (paper §3.3): guaranteed-
+// error classification and regression trees used as column predictors.
+//
+// A Model predicts one target attribute from a set of predictor attributes.
+// Trees are built on a sample, then "applied" to the full table where every
+// row violating the target's error tolerance is recorded as an exact
+// outlier. The storage cost of a model (tree bits + outlier bits) is what
+// the CaRTSelector trades against the cost of materializing the column.
+//
+// Two build strategies are provided for the paper's ablation: integrated
+// build+prune (expansion stops when a lower bound proves a subtree cannot
+// beat the leaf, paper §3.3) and build-then-prune (grow fully, prune
+// bottom-up by storage cost).
+package cart
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Node is a binary tree node. Internal nodes split on a predictor
+// attribute: numeric splits send rows with value <= SplitValue left;
+// categorical splits send rows whose code is in SplitLeft left. Leaves
+// carry the prediction for their region.
+type Node struct {
+	Leaf bool
+
+	// Internal-node fields.
+	SplitAttr  int     // table column index of the split attribute
+	SplitValue float64 // numeric threshold (numeric splits)
+	SplitLeft  []int32 // sorted codes routed left (categorical splits)
+	SplitIsCat bool    // discriminates the two split forms
+	Left       *Node
+	Right      *Node
+
+	// Leaf fields.
+	NumValue float64 // predicted value (regression)
+	CatValue int32   // predicted code (classification)
+}
+
+// route returns the child a row falls into.
+func (n *Node) route(t *table.Table, row int) *Node {
+	if n.takeLeft(t, row) {
+		return n.Left
+	}
+	return n.Right
+}
+
+func (n *Node) takeLeft(t *table.Table, row int) bool {
+	if n.SplitIsCat {
+		code := t.Code(row, n.SplitAttr)
+		return containsCode(n.SplitLeft, code)
+	}
+	return t.Float(row, n.SplitAttr) <= n.SplitValue
+}
+
+func containsCode(sorted []int32, c int32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == c
+}
+
+// Outlier records a row whose predicted value violates the tolerance; the
+// exact value is stored in the compressed output.
+type Outlier struct {
+	Row  int
+	Num  float64 // exact numeric value (regression targets)
+	Code int32   // exact code (classification targets)
+}
+
+// Model is a CaRT predictor 𝒳ᵢ → Xᵢ for a single target attribute.
+type Model struct {
+	Target     int // target column index
+	TargetKind table.Kind
+	Root       *Node
+	// Outliers lists full-table rows stored exactly. For numeric targets it
+	// contains every row violating the absolute bound; for categorical
+	// targets it contains misclassified rows beyond the probability budget.
+	Outliers []Outlier
+}
+
+// PredictRow returns the model's raw prediction for one row of t (before
+// outlier substitution).
+func (m *Model) PredictRow(t *table.Table, row int) (float64, int32) {
+	n := m.Root
+	for !n.Leaf {
+		n = n.route(t, row)
+	}
+	return n.NumValue, n.CatValue
+}
+
+// UsedPredictors returns the sorted set of attribute indices that actually
+// appear in split nodes. Irrelevant candidates passed to the builder are
+// naturally filtered out here (paper §3.2, Greedy step 2).
+func (m *Model) UsedPredictors() []int {
+	set := map[int]struct{}{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.Leaf {
+			return
+		}
+		set[n.SplitAttr] = struct{}{}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(m.Root)
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumNodes returns the total node count of the tree.
+func (m *Model) NumNodes() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.Leaf {
+			return 1
+		}
+		return 1 + count(n.Left) + count(n.Right)
+	}
+	return count(m.Root)
+}
+
+// NumLeaves returns the leaf count.
+func (m *Model) NumLeaves() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.Leaf {
+			return 1
+		}
+		return count(n.Left) + count(n.Right)
+	}
+	return count(m.Root)
+}
+
+// Depth returns the maximum root-to-leaf depth (a single leaf has depth 1).
+func (m *Model) Depth() int {
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.Leaf {
+			return 1
+		}
+		l, r := depth(n.Left), depth(n.Right)
+		if l > r {
+			return 1 + l
+		}
+		return 1 + r
+	}
+	return depth(m.Root)
+}
+
+// String renders the tree structure for debugging.
+func (m *Model) String() string {
+	var b []byte
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			if m.TargetKind == table.Numeric {
+				b = append(b, fmt.Sprintf("%sleaf %.4g\n", indent, n.NumValue)...)
+			} else {
+				b = append(b, fmt.Sprintf("%sleaf code %d\n", indent, n.CatValue)...)
+			}
+			return
+		}
+		if n.SplitIsCat {
+			b = append(b, fmt.Sprintf("%sattr %d in %v ?\n", indent, n.SplitAttr, n.SplitLeft)...)
+		} else {
+			b = append(b, fmt.Sprintf("%sattr %d <= %.4g ?\n", indent, n.SplitAttr, n.SplitValue)...)
+		}
+		walk(n.Left, indent+"  ")
+		walk(n.Right, indent+"  ")
+	}
+	walk(m.Root, "")
+	return string(b)
+}

@@ -1,0 +1,495 @@
+package cart
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+// paperTable reproduces the 8-tuple table of Figure 1(a).
+func paperTable(t testing.TB) *table.Table {
+	t.Helper()
+	schema := table.Schema{
+		{Name: "age", Kind: table.Numeric},
+		{Name: "salary", Kind: table.Numeric},
+		{Name: "assets", Kind: table.Numeric},
+		{Name: "credit", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	rows := [][]any{
+		{30.0, 90000.0, 200000.0, "good"},
+		{50.0, 110000.0, 250000.0, "good"},
+		{70.0, 35000.0, 125000.0, "poor"},
+		{75.0, 15000.0, 100000.0, "poor"},
+		{25.0, 50000.0, 75000.0, "good"},
+		{35.0, 76000.0, 75000.0, "good"},
+		{45.0, 100000.0, 175000.0, "poor"},
+		{55.0, 80000.0, 150000.0, "good"},
+	}
+	for _, r := range rows {
+		b.MustAppendRow(r...)
+	}
+	return b.MustBuild()
+}
+
+const (
+	colAge = iota
+	colSalary
+	colAssets
+	colCredit
+)
+
+// modelValues counts the "values" stored by a model the way Example 1.1 of
+// the paper counts them: tree nodes (labels + split values) plus outliers.
+func modelValues(m *Model) int {
+	return m.NumNodes() + len(m.Outliers)
+}
+
+// TestPaperExample11Classification mirrors Figure 1(b): predicting credit
+// from salary reduces its storage from 8 values to at most 4 (the paper's
+// count: 2 leaf labels + 1 split + 1 outlier).
+func TestPaperExample11Classification(t *testing.T) {
+	tb := paperTable(t)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, colCredit, []int{colSalary}, 0, cm,
+		Config{MinLeafRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeOutliers(tb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := modelValues(m); got > 4 {
+		t.Errorf("credit model stores %d values, paper achieves 4\n%s", got, m)
+	}
+	// Reconstruction must be exact (tolerance 0 means all misclassified
+	// rows are stored).
+	rec := m.Reconstruct(tb, tb.Col(colCredit).Dict)
+	for r := 0; r < tb.NumRows(); r++ {
+		if rec.Codes[r] != tb.Col(colCredit).Codes[r] {
+			t.Errorf("row %d: reconstructed credit %d != %d",
+				r, rec.Codes[r], tb.Col(colCredit).Codes[r])
+		}
+	}
+}
+
+// TestPaperExample11Regression mirrors the assets regression tree: with
+// tolerance 25,000 and predictors salary and age, assets storage drops
+// from 8 values to at most 6 (paper: 3 labels + 2 splits + 1 outlier).
+func TestPaperExample11Regression(t *testing.T) {
+	tb := paperTable(t)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, colAssets, []int{colAge, colSalary}, 25000, cm,
+		Config{MinLeafRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeOutliers(tb, 25000); err != nil {
+		t.Fatal(err)
+	}
+	if got := modelValues(m); got > 6 {
+		t.Errorf("assets model stores %d values, paper achieves 6\n%s", got, m)
+	}
+	// Every reconstructed value is within tolerance.
+	rec := m.Reconstruct(tb, nil)
+	for r := 0; r < tb.NumRows(); r++ {
+		if d := math.Abs(rec.Floats[r] - tb.Float(r, colAssets)); d > 25000 {
+			t.Errorf("row %d: |err| = %g > 25000", r, d)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tb := paperTable(t)
+	cm := NewCostModel(tb)
+	if _, _, err := Build(tb, colAssets, nil, 1, cm, Config{}); err == nil {
+		t.Error("Build accepted empty candidate set")
+	}
+	if _, _, err := Build(tb, colAssets, []int{colAssets}, 1, cm, Config{}); err == nil {
+		t.Error("Build accepted target as its own predictor")
+	}
+	if _, _, err := Build(tb, colAssets, []int{99}, 1, cm, Config{}); err == nil {
+		t.Error("Build accepted out-of-range candidate")
+	}
+	empty, err := tb.SelectRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(empty, colAssets, []int{colAge}, 1, cm, Config{}); err == nil {
+		t.Error("Build accepted empty sample")
+	}
+}
+
+// correlatedTable has y strongly determined by x (plus noise below eps),
+// a categorical c determined by x's sign region, and an unrelated column.
+func correlatedTable(rng *rand.Rand, n int) *table.Table {
+	schema := table.Schema{
+		{Name: "x", Kind: table.Numeric},
+		{Name: "y", Kind: table.Numeric},
+		{Name: "c", Kind: table.Categorical},
+		{Name: "junk", Kind: table.Numeric},
+	}
+	b := table.MustBuilder(schema)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		y := 3*x + rng.Float64()*2
+		c := "low"
+		if x > 50 {
+			c = "high"
+		}
+		b.MustAppendRow(x, y, c, rng.Float64()*1000)
+	}
+	return b.MustBuild()
+}
+
+func TestRegressionErrorGuaranteeProperty(t *testing.T) {
+	f := func(seed int64, tolByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := correlatedTable(rng, 300)
+		tol := 1 + float64(tolByte)/8 // tolerance in [1, ~33]
+		cm := NewCostModel(tb)
+		m, _, err := Build(tb, 1, []int{0, 3}, tol, cm, Config{})
+		if err != nil {
+			return false
+		}
+		if err := m.ComputeOutliers(tb, tol); err != nil {
+			return false
+		}
+		rec := m.Reconstruct(tb, nil)
+		for r := 0; r < tb.NumRows(); r++ {
+			if math.Abs(rec.Floats[r]-tb.Float(r, 1)) > tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassificationErrorGuaranteeProperty(t *testing.T) {
+	f := func(seed int64, tolByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := correlatedTable(rng, 300)
+		tol := float64(tolByte%50) / 100 // tolerance in [0, 0.49]
+		cm := NewCostModel(tb)
+		m, _, err := Build(tb, 2, []int{0, 3}, tol, cm, Config{})
+		if err != nil {
+			return false
+		}
+		if err := m.ComputeOutliers(tb, tol); err != nil {
+			return false
+		}
+		rec := m.Reconstruct(tb, tb.Col(2).Dict)
+		wrong := 0
+		for r := 0; r < tb.NumRows(); r++ {
+			if rec.Codes[r] != tb.Col(2).Codes[r] {
+				wrong++
+			}
+		}
+		return float64(wrong) <= tol*float64(tb.NumRows())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleBuildFullApply(t *testing.T) {
+	// Build on a sample, apply to the full table: the guarantee must hold
+	// on every full-table row because violations become outliers.
+	rng := rand.New(rand.NewSource(4))
+	full := correlatedTable(rng, 5000)
+	sample := full.Sample(600, rng)
+	cm := NewCostModel(full)
+	tol := 5.0
+	m, _, err := Build(sample, 1, []int{0}, tol, cm, Config{FullRows: full.NumRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeOutliers(full, tol); err != nil {
+		t.Fatal(err)
+	}
+	rec := m.Reconstruct(full, nil)
+	for r := 0; r < full.NumRows(); r++ {
+		if math.Abs(rec.Floats[r]-full.Float(r, 1)) > tol {
+			t.Fatalf("row %d violates tolerance after outlier pass", r)
+		}
+	}
+	// The strong x→y correlation means few outliers.
+	if frac := float64(len(m.Outliers)) / float64(full.NumRows()); frac > 0.1 {
+		t.Errorf("outlier fraction %.2f unexpectedly high", frac)
+	}
+}
+
+func TestUsedPredictorsFiltersJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tb := correlatedTable(rng, 500)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, 1, []int{0, 3}, 2, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.UsedPredictors() {
+		if p == 1 {
+			t.Error("target appears as predictor")
+		}
+	}
+	// x must be used; junk may appear occasionally but x is essential.
+	foundX := false
+	for _, p := range m.UsedPredictors() {
+		if p == 0 {
+			foundX = true
+		}
+	}
+	if !foundX {
+		t.Errorf("predictor x unused; tree:\n%s", m)
+	}
+}
+
+func TestCategoricalPredictorSplit(t *testing.T) {
+	// y is determined by a categorical attribute: the tree must use the
+	// category split form and reach zero outliers.
+	schema := table.Schema{
+		{Name: "region", Kind: table.Categorical},
+		{Name: "rate", Kind: table.Numeric},
+	}
+	b := table.MustBuilder(schema)
+	rates := map[string]float64{"east": 10, "west": 50, "north": 90, "south": 130}
+	rng := rand.New(rand.NewSource(3))
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < 400; i++ {
+		reg := regions[rng.Intn(4)]
+		b.MustAppendRow(reg, rates[reg]+rng.Float64())
+	}
+	tb := b.MustBuild()
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, 1, []int{0}, 1, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeOutliers(tb, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Outliers) != 0 {
+		t.Errorf("outliers = %d, want 0:\n%s", len(m.Outliers), m)
+	}
+	if m.NumLeaves() != 4 {
+		t.Errorf("leaves = %d, want 4 (one per region)", m.NumLeaves())
+	}
+}
+
+func TestLosslessToleranceZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tb := correlatedTable(rng, 300)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, 1, []int{0}, 0, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeOutliers(tb, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec := m.Reconstruct(tb, nil)
+	for r := 0; r < tb.NumRows(); r++ {
+		if rec.Floats[r] != tb.Float(r, 1) {
+			t.Fatalf("lossless reconstruction differs at row %d", r)
+		}
+	}
+}
+
+func TestPruneModesAgreeOnGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tb := correlatedTable(rng, 600)
+	cm := NewCostModel(tb)
+	tol := 3.0
+	for _, mode := range []PruneMode{PruneIntegrated, PruneAfter, PruneNone} {
+		m, _, err := Build(tb, 1, []int{0, 3}, tol, cm, Config{Prune: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ComputeOutliers(tb, tol); err != nil {
+			t.Fatal(err)
+		}
+		rec := m.Reconstruct(tb, nil)
+		for r := 0; r < tb.NumRows(); r++ {
+			if math.Abs(rec.Floats[r]-tb.Float(r, 1)) > tol {
+				t.Fatalf("mode %d: row %d violates tolerance", mode, r)
+			}
+		}
+	}
+}
+
+func TestIntegratedPruneYieldsSmallerOrEqualTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tb := correlatedTable(rng, 600)
+	cm := NewCostModel(tb)
+	mi, costI, err := Build(tb, 1, []int{0, 3}, 5, cm, Config{Prune: PruneIntegrated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, _, err := Build(tb, 1, []int{0, 3}, 5, cm, Config{Prune: PruneNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.NumNodes() > mn.NumNodes() {
+		t.Errorf("integrated prune grew a bigger tree (%d > %d nodes)",
+			mi.NumNodes(), mn.NumNodes())
+	}
+	ma, costA, err := Build(tb, 1, []int{0, 3}, 5, cm, Config{Prune: PruneAfter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both pruned variants optimize the same cost; allow small slack for
+	// path-dependent growth differences.
+	if costI > costA*1.25+64 {
+		t.Errorf("integrated cost %.0f much worse than post-prune cost %.0f (trees: %d vs %d nodes)",
+			costI, costA, mi.NumNodes(), ma.NumNodes())
+	}
+}
+
+func TestModelEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tb := correlatedTable(rng, 400)
+	cm := NewCostModel(tb)
+	for _, target := range []int{1, 2} {
+		tol := 2.0
+		if tb.Attr(target).Kind == table.Categorical {
+			tol = 0.05
+		}
+		m, _, err := Build(tb, target, []int{0, 3}, tol, cm, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ComputeOutliers(tb, tol); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Target != m.Target || got.TargetKind != m.TargetKind {
+			t.Fatalf("decoded header mismatch: %+v vs %+v", got, m)
+		}
+		if len(got.Outliers) != len(m.Outliers) {
+			t.Fatalf("outlier count %d != %d", len(got.Outliers), len(m.Outliers))
+		}
+		// Predictions must agree row by row.
+		for r := 0; r < tb.NumRows(); r++ {
+			f1, c1 := m.PredictRow(tb, r)
+			f2, c2 := got.PredictRow(tb, r)
+			if f1 != f2 || c1 != c2 {
+				t.Fatalf("row %d prediction differs after round trip", r)
+			}
+		}
+	}
+}
+
+func TestDecodeModelRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tb := correlatedTable(rng, 200)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, 1, []int{0}, 2, cm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := DecodeModel(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("DecodeModel accepted truncated stream")
+	}
+	if _, err := DecodeModel(bytes.NewReader(nil)); err == nil {
+		t.Error("DecodeModel accepted empty stream")
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/3] = 0xFD // scramble a tag/structure byte
+	// Either an error or a structurally valid (possibly different) model is
+	// acceptable; a panic is not.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("DecodeModel panicked on corrupted input: %v", r)
+			}
+		}()
+		_, _ = DecodeModel(bytes.NewReader(bad))
+	}()
+}
+
+func TestEncodeRejectsUnorderedOutliers(t *testing.T) {
+	m := &Model{
+		Target:     0,
+		TargetKind: table.Numeric,
+		Root:       &Node{Leaf: true, NumValue: 1},
+		Outliers:   []Outlier{{Row: 5, Num: 1}, {Row: 2, Num: 2}},
+	}
+	if err := m.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("Encode accepted out-of-order outliers")
+	}
+}
+
+func TestContainsCode(t *testing.T) {
+	set := []int32{2, 5, 9}
+	for _, c := range set {
+		if !containsCode(set, c) {
+			t.Errorf("containsCode missed %d", c)
+		}
+	}
+	for _, c := range []int32{0, 3, 10} {
+		if containsCode(set, c) {
+			t.Errorf("containsCode false positive for %d", c)
+		}
+	}
+	if containsCode(nil, 1) {
+		t.Error("containsCode on empty set")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	tb := paperTable(t)
+	cm := NewCostModel(tb)
+	if cm.ValueBits(colAge) != 32 {
+		t.Errorf("numeric ValueBits = %g, want 32", cm.ValueBits(colAge))
+	}
+	if cm.ValueBits(colCredit) != 1 {
+		t.Errorf("2-value categorical ValueBits = %g, want 1", cm.ValueBits(colCredit))
+	}
+	if cm.MaterCost(colAge) != 8*32 {
+		t.Errorf("MaterCost = %g, want 256", cm.MaterCost(colAge))
+	}
+	// Outlier = row id (3 bits for 8 rows) + value.
+	if cm.OutlierBits(colAge) != 3+32 {
+		t.Errorf("OutlierBits = %g, want 35", cm.OutlierBits(colAge))
+	}
+	m := &Model{Target: colAge, TargetKind: table.Numeric,
+		Root: &Node{Leaf: true, NumValue: 1}}
+	if got := cm.PredCost(m); got != cm.LeafBits(colAge) {
+		t.Errorf("PredCost(single leaf) = %g, want %g", got, cm.LeafBits(colAge))
+	}
+}
+
+func TestDepthAndCounts(t *testing.T) {
+	leaf := &Node{Leaf: true}
+	m := &Model{Root: leaf, TargetKind: table.Numeric}
+	if m.Depth() != 1 || m.NumNodes() != 1 || m.NumLeaves() != 1 {
+		t.Error("single-leaf counts wrong")
+	}
+	m2 := &Model{TargetKind: table.Numeric, Root: &Node{
+		SplitAttr: 0, Left: &Node{Leaf: true}, Right: &Node{
+			SplitAttr: 1, Left: &Node{Leaf: true}, Right: &Node{Leaf: true}},
+	}}
+	if m2.Depth() != 3 || m2.NumNodes() != 5 || m2.NumLeaves() != 3 {
+		t.Errorf("depth=%d nodes=%d leaves=%d, want 3/5/3",
+			m2.Depth(), m2.NumNodes(), m2.NumLeaves())
+	}
+}

@@ -1,0 +1,61 @@
+package cart
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// failAfter errors once n bytes have been written, covering the encoder's
+// error-propagation branches.
+type failAfter struct {
+	n       int
+	written int
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		allowed := f.n - f.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.written += allowed
+		return allowed, errBoom
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestEncodePropagatesWriteErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	tb := correlatedTable(rng, 300)
+	cm := NewCostModel(tb)
+	for _, target := range []int{1, 2} {
+		tol := 2.0
+		if tb.Attr(target).Kind != 0 { // categorical
+			tol = 0
+		}
+		m, _, err := Build(tb, target, []int{0}, tol, cm, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ComputeOutliers(tb, tol); err != nil {
+			t.Fatal(err)
+		}
+		// Learn the stream size, then sweep failure points inside it;
+		// every write must surface the error.
+		var probe failAfter
+		probe.n = 1 << 30
+		if err := m.Encode(&probe); err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < probe.written; cut += 1 + probe.written/8 {
+			if err := m.Encode(&failAfter{n: cut}); err == nil {
+				t.Errorf("target %d: Encode succeeded with writer failing at %d/%d bytes",
+					target, cut, probe.written)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package cart
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeModel asserts the model decoder never panics on arbitrary
+// input.
+func FuzzDecodeModel(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	tb := correlatedTable(rng, 100)
+	cm := NewCostModel(tb)
+	m, _, err := Build(tb, 1, []int{0}, 2, cm, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := m.ComputeOutliers(tb, 2); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte(nil), valid...)
+	mutated[0] ^= 0x01
+	f.Add(mutated)
+	// Deep nesting attack: a long run of internal-node tags.
+	deep := bytes.Repeat([]byte{0x00, 0x00, tagInternalNum, 0x01}, 2000)
+	f.Add(deep)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(bytes.NewReader(data))
+		if err == nil && m == nil {
+			t.Error("DecodeModel returned nil model without error")
+		}
+	})
+}

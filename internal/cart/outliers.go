@@ -1,0 +1,148 @@
+package cart
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// ComputeOutliers runs the model over the full table and records every row
+// whose prediction violates the target's tolerance.
+//
+// For numeric targets the bound is per-row, so every violating row is
+// stored exactly. For categorical targets the bound is a probability: up
+// to ⌊tol·N⌋ misclassified rows may remain unstored; the rest are stored
+// as outliers. (All categorical outliers cost the same, so which ones stay
+// unstored is arbitrary; the earliest rows are kept unstored for
+// determinism.)
+//
+// The table passed here must use the same schema (and, for categorical
+// columns, the same dictionaries) as the sample the model was built on.
+func (m *Model) ComputeOutliers(full *table.Table, tol float64) error {
+	return m.ComputeOutliersBudget(full, tol, nil)
+}
+
+// ComputeOutliersBudget is ComputeOutliers with optional per-class
+// mismatch budgets for categorical targets (paper §2.1's per-class
+// extension): for each true class c, at most perClass[c]·count(c) rows
+// may stay misclassified unstored; classes absent from the map fall back
+// to tol. A nil map reproduces the global-probability semantics.
+func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass map[int32]float64) error {
+	m.Outliers = m.Outliers[:0]
+	switch m.TargetKind {
+	case table.Numeric:
+		col := full.Col(m.Target)
+		if col.Kind != table.Numeric {
+			return fmt.Errorf("cart: model target %d is numeric, table column is not", m.Target)
+		}
+		for r := 0; r < full.NumRows(); r++ {
+			pred, _ := m.PredictRow(full, r)
+			actual := col.Floats[r]
+			if diff := actual - pred; diff > tol || diff < -tol {
+				m.Outliers = append(m.Outliers, Outlier{Row: r, Num: actual})
+			}
+		}
+	case table.Categorical:
+		col := full.Col(m.Target)
+		if col.Kind != table.Categorical {
+			return fmt.Errorf("cart: model target %d is categorical, table column is not", m.Target)
+		}
+		var wrong []Outlier
+		for r := 0; r < full.NumRows(); r++ {
+			_, pred := m.PredictRow(full, r)
+			if actual := col.Codes[r]; actual != pred {
+				wrong = append(wrong, Outlier{Row: r, Code: actual})
+			}
+		}
+		if perClass == nil {
+			allowance := int(tol * float64(full.NumRows()))
+			if allowance > len(wrong) {
+				allowance = len(wrong)
+			}
+			m.Outliers = append(m.Outliers, wrong[allowance:]...)
+			return nil
+		}
+		// Per-class budgets: allowance_c = ⌊e_c · |rows with class c|⌋.
+		classCount := map[int32]int{}
+		for _, c := range col.Codes {
+			classCount[c]++
+		}
+		allowanceLeft := map[int32]int{}
+		for c, n := range classCount {
+			e, ok := perClass[c]
+			if !ok {
+				e = tol
+			}
+			allowanceLeft[c] = int(e * float64(n))
+		}
+		for _, o := range wrong {
+			if allowanceLeft[o.Code] > 0 {
+				allowanceLeft[o.Code]--
+				continue
+			}
+			m.Outliers = append(m.Outliers, o)
+		}
+	}
+	return nil
+}
+
+// CountViolations returns how many rows of t the model would store as
+// outliers under the given tolerance, without materializing the outlier
+// list. For categorical targets the probability allowance is already
+// subtracted. Selectors use this on a holdout sample for honest
+// prediction-cost estimates.
+func (m *Model) CountViolations(t *table.Table, tol float64) int {
+	switch m.TargetKind {
+	case table.Numeric:
+		col := t.Col(m.Target)
+		n := 0
+		for r := 0; r < t.NumRows(); r++ {
+			pred, _ := m.PredictRow(t, r)
+			if diff := col.Floats[r] - pred; diff > tol || diff < -tol {
+				n++
+			}
+		}
+		return n
+	default:
+		col := t.Col(m.Target)
+		wrong := 0
+		for r := 0; r < t.NumRows(); r++ {
+			_, pred := m.PredictRow(t, r)
+			if col.Codes[r] != pred {
+				wrong++
+			}
+		}
+		wrong -= int(tol * float64(t.NumRows()))
+		if wrong < 0 {
+			wrong = 0
+		}
+		return wrong
+	}
+}
+
+// Reconstruct materializes the predicted column for the full table:
+// model predictions with outliers substituted. The returned column has the
+// same kind and (for categorical targets) shares the target dictionary of
+// the reference table.
+func (m *Model) Reconstruct(predictorData *table.Table, dict []string) *table.Column {
+	n := predictorData.NumRows()
+	out := &table.Column{Kind: m.TargetKind, Dict: dict}
+	if m.TargetKind == table.Numeric {
+		out.Floats = make([]float64, n)
+		for r := 0; r < n; r++ {
+			out.Floats[r], _ = m.PredictRow(predictorData, r)
+		}
+		for _, o := range m.Outliers {
+			out.Floats[o.Row] = o.Num
+		}
+		return out
+	}
+	out.Codes = make([]int32, n)
+	for r := 0; r < n; r++ {
+		_, out.Codes[r] = m.PredictRow(predictorData, r)
+	}
+	for _, o := range m.Outliers {
+		out.Codes[o.Row] = o.Code
+	}
+	return out
+}

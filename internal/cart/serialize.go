@@ -1,0 +1,272 @@
+package cart
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/table"
+)
+
+// Model wire format (used inside the compressed-table codec):
+//
+//	model   := target(uvarint) kind(byte) tree outliers
+//	tree    := leafNum | leafCat | internalNum | internalCat
+//	leafNum := 0x00 float32
+//	leafCat := 0x01 uvarint(code)
+//	internalNum := 0x02 uvarint(attr) float32(threshold) tree tree
+//	internalCat := 0x03 uvarint(attr) uvarint(k) k*uvarint(code) tree tree
+//	outliers := uvarint(count) count*(uvarint(rowDelta) value)
+//
+// Row ids are delta-encoded (outliers are generated in increasing row
+// order), values are float32 for numeric targets (the cell wire format;
+// the builder rounds predictions and thresholds through float32, so this
+// is exact) and uvarint codes for categorical targets.
+
+const (
+	tagLeafNum byte = iota
+	tagLeafCat
+	tagInternalNum
+	tagInternalCat
+)
+
+// Encode writes the model to w.
+func (m *Model) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := putUvarint(bw, uint64(m.Target)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(m.TargetKind)); err != nil {
+		return err
+	}
+	if err := encodeNode(bw, m.Root, m.TargetKind); err != nil {
+		return err
+	}
+	if err := putUvarint(bw, uint64(len(m.Outliers))); err != nil {
+		return err
+	}
+	prev := 0
+	for _, o := range m.Outliers {
+		if o.Row < prev {
+			return fmt.Errorf("cart: outliers not in increasing row order (%d after %d)", o.Row, prev)
+		}
+		if err := putUvarint(bw, uint64(o.Row-prev)); err != nil {
+			return err
+		}
+		prev = o.Row
+		if m.TargetKind == table.Numeric {
+			if err := putFloat32(bw, o.Num); err != nil {
+				return err
+			}
+		} else if err := putUvarint(bw, uint64(o.Code)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeModel reads a model written by Encode.
+func DecodeModel(r io.Reader) (*Model, error) {
+	br := asByteReader(r)
+	target, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("cart: reading model target: %w", err)
+	}
+	kindByte, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("cart: reading model kind: %w", err)
+	}
+	kind := table.Kind(kindByte)
+	if kind != table.Numeric && kind != table.Categorical {
+		return nil, fmt.Errorf("cart: unknown target kind %d", kindByte)
+	}
+	root, err := decodeNode(br, kind, 0)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("cart: reading outlier count: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("cart: implausible outlier count %d", count)
+	}
+	m := &Model{Target: int(target), TargetKind: kind, Root: root}
+	row := 0
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("cart: reading outlier row: %w", err)
+		}
+		row += int(delta)
+		o := Outlier{Row: row}
+		if kind == table.Numeric {
+			o.Num, err = readFloat32(br)
+		} else {
+			var code uint64
+			code, err = binary.ReadUvarint(br)
+			o.Code = int32(code)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cart: reading outlier value: %w", err)
+		}
+		m.Outliers = append(m.Outliers, o)
+	}
+	return m, nil
+}
+
+func encodeNode(bw *bufio.Writer, n *Node, kind table.Kind) error {
+	if n == nil {
+		return fmt.Errorf("cart: nil node in tree")
+	}
+	if n.Leaf {
+		if kind == table.Numeric {
+			if err := bw.WriteByte(tagLeafNum); err != nil {
+				return err
+			}
+			return putFloat32(bw, n.NumValue)
+		}
+		if err := bw.WriteByte(tagLeafCat); err != nil {
+			return err
+		}
+		return putUvarint(bw, uint64(n.CatValue))
+	}
+	if n.SplitIsCat {
+		if err := bw.WriteByte(tagInternalCat); err != nil {
+			return err
+		}
+		if err := putUvarint(bw, uint64(n.SplitAttr)); err != nil {
+			return err
+		}
+		if err := putUvarint(bw, uint64(len(n.SplitLeft))); err != nil {
+			return err
+		}
+		for _, c := range n.SplitLeft {
+			if err := putUvarint(bw, uint64(c)); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := bw.WriteByte(tagInternalNum); err != nil {
+			return err
+		}
+		if err := putUvarint(bw, uint64(n.SplitAttr)); err != nil {
+			return err
+		}
+		if err := putFloat32(bw, n.SplitValue); err != nil {
+			return err
+		}
+	}
+	if err := encodeNode(bw, n.Left, kind); err != nil {
+		return err
+	}
+	return encodeNode(bw, n.Right, kind)
+}
+
+const maxTreeDepth = 512 // defends against malformed recursive input
+
+func decodeNode(br *bufio.Reader, kind table.Kind, depth int) (*Node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("cart: tree deeper than %d; corrupt stream", maxTreeDepth)
+	}
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("cart: reading node tag: %w", err)
+	}
+	switch tag {
+	case tagLeafNum:
+		if kind != table.Numeric {
+			return nil, fmt.Errorf("cart: numeric leaf in categorical model")
+		}
+		v, err := readFloat32(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Leaf: true, NumValue: v}, nil
+	case tagLeafCat:
+		if kind != table.Categorical {
+			return nil, fmt.Errorf("cart: categorical leaf in numeric model")
+		}
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Leaf: true, CatValue: int32(c)}, nil
+	case tagInternalNum, tagInternalCat:
+		attr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{SplitAttr: int(attr)}
+		if tag == tagInternalCat {
+			n.SplitIsCat = true
+			k, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if k > 1<<20 {
+				return nil, fmt.Errorf("cart: implausible split set size %d", k)
+			}
+			n.SplitLeft = make([]int32, 0, minInt(int(k), 1<<12))
+			for i := uint64(0); i < k; i++ {
+				c, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				n.SplitLeft = append(n.SplitLeft, int32(c))
+			}
+		} else {
+			n.SplitValue, err = readFloat32(br)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if n.Left, err = decodeNode(br, kind, depth+1); err != nil {
+			return nil, err
+		}
+		if n.Right, err = decodeNode(br, kind, depth+1); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("cart: unknown node tag %d", tag)
+	}
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := bw.Write(buf[:n])
+	return err
+}
+
+func putFloat32(bw *bufio.Writer, v float64) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+	_, err := bw.Write(buf[:])
+	return err
+}
+
+func readFloat32(br *bufio.Reader) (float64, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))), nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func asByteReader(r io.Reader) *bufio.Reader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}

@@ -1,0 +1,364 @@
+// Package core orchestrates SPARTAN's four components (paper §2.3) into
+// the end-to-end compression pipeline:
+//
+//	DependencyFinder → CaRTSelector ⇄ CaRTBuilder → RowAggregator → codec
+//
+// It is the paper's primary contribution — everything else under internal/
+// is a substrate it composes. The exported types here are re-exported by
+// the root spartan package, which is the intended import path for users.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/bayesnet"
+	"repro/internal/cart"
+	"repro/internal/codec"
+	"repro/internal/fascicle"
+	"repro/internal/selector"
+	"repro/internal/table"
+)
+
+// SelectionStrategy picks the CaRTSelector algorithm (paper §3.2).
+type SelectionStrategy int
+
+const (
+	// SelectWMISParents runs MaxIndependentSet with parent neighborhoods —
+	// the paper's default and its best cost/time trade-off (Table 1).
+	SelectWMISParents SelectionStrategy = iota
+	// SelectWMISMarkov runs MaxIndependentSet with Markov-blanket
+	// neighborhoods (slightly better ratios, slower).
+	SelectWMISMarkov
+	// SelectGreedy runs the single-pass Greedy selector.
+	SelectGreedy
+)
+
+// String names the strategy as in Table 1 of the paper.
+func (s SelectionStrategy) String() string {
+	switch s {
+	case SelectGreedy:
+		return "Greedy"
+	case SelectWMISMarkov:
+		return "WMIS(Markov)"
+	default:
+		return "WMIS(Parent)"
+	}
+}
+
+// Options configures compression. The zero value requests lossless
+// compression with the paper's default knobs.
+type Options struct {
+	// Tolerances is the error-tolerance vector ē; nil means all-zero
+	// (lossless). Quantile-form numeric entries are resolved against the
+	// input table's value ranges.
+	Tolerances table.Tolerances
+	// SampleBytes is the model-inference sample size (the paper's default
+	// is 50 KB, §4.1). Zero selects the default.
+	SampleBytes int
+	// Selection picks the CaRT-selection algorithm (default
+	// SelectWMISParents).
+	Selection SelectionStrategy
+	// Theta is Greedy's relative-benefit threshold (default 2, §4.1).
+	Theta float64
+	// Prune selects the CaRT pruning strategy (default PruneIntegrated).
+	Prune cart.PruneMode
+	// DisableRowAggregation turns off the fascicle pass over T'
+	// (ablation).
+	DisableRowAggregation bool
+	// MaxFascicles is the RowAggregator's fascicle budget (the paper's P,
+	// default 500).
+	MaxFascicles int
+	// Seed fixes all sampling randomness; zero means seed 1. Compression
+	// is fully deterministic for a given (table, options) pair.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleBytes <= 0 {
+		o.SampleBytes = 50 << 10
+	}
+	if o.Theta <= 0 {
+		o.Theta = 2
+	}
+	if o.MaxFascicles <= 0 {
+		o.MaxFascicles = 500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Timings records per-component wall-clock time, mirroring the paper's
+// §4.2 running-time accounting.
+type Timings struct {
+	DependencyFinder time.Duration
+	CaRTSelection    time.Duration // includes all CaRT builds
+	OutlierScan      time.Duration // full-table pass applying the models
+	RowAggregation   time.Duration
+	Encode           time.Duration
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.DependencyFinder + t.CaRTSelection + t.OutlierScan + t.RowAggregation + t.Encode
+}
+
+// Stats describes one compression run.
+type Stats struct {
+	RawBytes        int     // uncompressed fixed-record size of the input
+	CompressedBytes int     // total output size
+	Ratio           float64 // CompressedBytes / RawBytes (smaller is better)
+
+	Predicted    []string // names of CaRT-predicted attributes
+	Materialized []string // names of materialized attributes
+	CartsBuilt   int      // CaRTs constructed during selection
+	Outliers     int      // total outlier values stored
+	Fascicles    int      // fascicles found by the RowAggregator
+
+	HeaderBytes int // schema + dictionaries + attribute lists
+	ModelBytes  int // serialized CaRTs incl. outliers
+	TPrimeBytes int // deflated materialized projection
+
+	Timings Timings
+}
+
+// Compress writes the semantically compressed form of t to w and reports
+// statistics. The input table is not modified.
+func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
+	if t == nil || t.NumCols() == 0 {
+		return nil, fmt.Errorf("spartan: nil or empty table")
+	}
+	opts = opts.withDefaults()
+	tol := opts.Tolerances
+	if tol == nil {
+		tol = table.ZeroTolerances(t)
+	}
+	resolved, err := tol.Resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	stats := &Stats{RawBytes: t.RawSizeBytes()}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// DependencyFinder: Bayesian network on a sample. A quarter of the
+	// sample budget is held out for honest prediction-cost estimates
+	// during selection.
+	start := time.Now()
+	sample := t.SampleBytes(opts.SampleBytes, rng)
+	build, holdout := splitSample(sample)
+	net, err := bayesnet.Build(sample, bayesnet.Config{MaxParents: 6})
+	if err != nil {
+		return nil, fmt.Errorf("spartan: dependency finder: %w", err)
+	}
+	stats.Timings.DependencyFinder = time.Since(start)
+
+	// CaRTSelector. Materialization costs are estimated by entropy-coding
+	// the sample's columns, so the MaterCost-vs-PredCost trade-off matches
+	// what the T' encoder actually achieves.
+	start = time.Now()
+	cost := cart.NewCostModel(t)
+	for i, bits := range estimateMaterBits(sample) {
+		cost.SetMaterBits(i, bits)
+	}
+	in := selector.Input{
+		Sample:  build,
+		Holdout: holdout,
+		Tol:     resolved,
+		Net:     net,
+		Cost:    cost,
+		CartCfg: cart.Config{FullRows: t.NumRows(), Prune: opts.Prune},
+	}
+	var plan *selector.Result
+	switch opts.Selection {
+	case SelectGreedy:
+		plan, err = selector.Greedy(in, opts.Theta)
+	case SelectWMISMarkov:
+		plan, err = selector.MaxIndependentSet(in, selector.MarkovBlanket)
+	default:
+		plan, err = selector.MaxIndependentSet(in, selector.Parents)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spartan: CaRT selection: %w", err)
+	}
+	stats.Timings.CaRTSelection = time.Since(start)
+	stats.CartsBuilt = plan.CartsBuilt
+	for _, a := range plan.Predicted {
+		stats.Predicted = append(stats.Predicted, t.Attr(a).Name)
+	}
+	for _, a := range plan.Materialized {
+		stats.Materialized = append(stats.Materialized, t.Attr(a).Name)
+	}
+
+	// RowAggregator: fascicle-quantize the materialized projection without
+	// crossing any CaRT split value.
+	start = time.Now()
+	applyTable := t
+	if !opts.DisableRowAggregation && len(plan.Materialized) > 0 {
+		applyTable, stats.Fascicles, err = rowAggregate(t, plan, resolved, opts)
+		if err != nil {
+			return nil, fmt.Errorf("spartan: row aggregation: %w", err)
+		}
+	}
+	stats.Timings.RowAggregation = time.Since(start)
+
+	// Outlier scan: one pass over the full table per model (paper §2.3:
+	// "SPARTAN then uses the CaRTs built to compress the full data set in
+	// one pass").
+	start = time.Now()
+	models := make([]*cart.Model, len(plan.Predicted))
+	scanErrs := make([]error, len(plan.Predicted))
+	var wg sync.WaitGroup
+	for i, a := range plan.Predicted {
+		wg.Add(1)
+		go func(i, a int) {
+			defer wg.Done()
+			m := plan.Models[a]
+			var perClass map[int32]float64
+			if t.Attr(a).Kind == table.Categorical {
+				perClass = resolved[a].ClassBudgets(t.Col(a).Dict)
+			}
+			scanErrs[i] = m.ComputeOutliersBudget(applyTable, resolved[a].Value, perClass)
+			models[i] = m
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range scanErrs {
+		if err != nil {
+			return nil, fmt.Errorf("spartan: outlier scan: %w", err)
+		}
+	}
+	for _, m := range models {
+		stats.Outliers += len(m.Outliers)
+	}
+	stats.Timings.OutlierScan = time.Since(start)
+
+	// Encode.
+	start = time.Now()
+	bd, err := codec.Encode(w, applyTable, plan.Materialized, models)
+	if err != nil {
+		return nil, fmt.Errorf("spartan: encoding: %w", err)
+	}
+	stats.Timings.Encode = time.Since(start)
+	stats.HeaderBytes = bd.HeaderBytes
+	stats.ModelBytes = bd.ModelBytes
+	stats.TPrimeBytes = bd.TPrimeBytes
+	stats.CompressedBytes = bd.Total()
+	if stats.RawBytes > 0 {
+		stats.Ratio = float64(stats.CompressedBytes) / float64(stats.RawBytes)
+	}
+	return stats, nil
+}
+
+// estimateMaterBits prices each attribute's materialization by running
+// the codec's own column encoder (dictionary/raw + deflate) over the
+// sample column, so the selector's MaterCost reflects real T' bytes.
+func estimateMaterBits(sample *table.Table) []float64 {
+	out := make([]float64, sample.NumCols())
+	for i := 0; i < sample.NumCols(); i++ {
+		bits, err := codec.EstimateBitsPerValue(sample.Col(i))
+		if err != nil {
+			panic("spartan: estimating column bits: " + err.Error())
+		}
+		out[i] = bits
+	}
+	return out
+}
+
+// splitSample partitions the sample into build (3/4) and holdout (1/4)
+// subsets by row position. With fewer than 8 rows the whole sample builds
+// and no holdout is used.
+func splitSample(sample *table.Table) (build, holdout *table.Table) {
+	n := sample.NumRows()
+	if n < 8 {
+		return sample, nil
+	}
+	var buildRows, holdRows []int
+	for r := 0; r < n; r++ {
+		if r%4 == 3 {
+			holdRows = append(holdRows, r)
+		} else {
+			buildRows = append(buildRows, r)
+		}
+	}
+	b, err := sample.SelectRows(buildRows)
+	if err != nil {
+		panic("spartan: sample split failed: " + err.Error())
+	}
+	h, err := sample.SelectRows(holdRows)
+	if err != nil {
+		panic("spartan: sample split failed: " + err.Error())
+	}
+	return b, h
+}
+
+// rowAggregate runs the fascicle pass over the materialized projection and
+// grafts the quantized columns into a full-width copy of t.
+func rowAggregate(t *table.Table, plan *selector.Result, resolved table.Tolerances, opts Options) (*table.Table, int, error) {
+	proj, err := t.Project(plan.Materialized)
+	if err != nil {
+		return nil, 0, err
+	}
+	widths := make([]float64, proj.NumCols())
+	splits := make([][]float64, proj.NumCols())
+	splitsByAttr := collectSplitValues(plan)
+	for i, a := range plan.Materialized {
+		if t.Attr(a).Kind == table.Numeric {
+			widths[i] = resolved[a].Value
+			splits[i] = splitsByAttr[a]
+		}
+	}
+	clustering, err := fascicle.Cluster(proj, fascicle.Params{
+		Widths:       widths,
+		SplitValues:  splits,
+		MaxFascicles: opts.MaxFascicles,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	quantized := clustering.Quantize(proj)
+
+	cols := make([]*table.Column, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		cols[i] = t.Col(i)
+	}
+	for i, a := range plan.Materialized {
+		cols[a] = quantized.Col(i)
+	}
+	merged, err := table.New(t.Schema(), cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return merged, len(clustering.Fascicles), nil
+}
+
+// collectSplitValues walks every selected model and gathers, per
+// attribute, the numeric split thresholds whose straddling the
+// RowAggregator must avoid (paper §3.4).
+func collectSplitValues(plan *selector.Result) map[int][]float64 {
+	out := map[int][]float64{}
+	for _, m := range plan.Models {
+		var walk func(n *cart.Node)
+		walk = func(n *cart.Node) {
+			if n == nil || n.Leaf {
+				return
+			}
+			if !n.SplitIsCat {
+				out[n.SplitAttr] = append(out[n.SplitAttr], n.SplitValue)
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(m.Root)
+	}
+	return out
+}
+
+// Decompress reconstructs a table from a stream produced by Compress.
+func Decompress(r io.Reader) (*table.Table, error) {
+	return codec.Decode(r)
+}

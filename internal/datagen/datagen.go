@@ -1,0 +1,415 @@
+// Package datagen synthesizes tables that stand in for the three real-life
+// data sets of the paper's evaluation (§4.1), which are not redistributable
+// here. Each generator preserves the structural properties that drove the
+// paper's results (DESIGN.md §4):
+//
+//   - Census: equal mix of small-domain categorical and numeric attributes
+//     with demographic-style dependencies (the regime where fascicles catch
+//     up with CaRTs at high tolerances);
+//   - Corel: 32 numeric, strongly correlated histogram-like features with
+//     latent cluster structure (the all-numeric regime where SPARTAN's
+//     regression trees win by the largest factor);
+//   - ForestCover: 10 numeric terrain attributes with physical dependencies
+//     plus 44 categorical attributes including one-hot blocks functionally
+//     determined by the numerics (strong column-wise dependencies).
+//
+// All generators are deterministic for a given seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/table"
+)
+
+// Census synthesizes a CPS-like table: 7 numeric and 7 categorical
+// attributes, n rows. Like the real CPS extract, several columns are
+// recodes or derivations of others (education of educ_years, age_group of
+// age, income_band of weekly_earn, employment of weekly_hours, weekly_earn
+// of pay × hours), which is the cross-column redundancy SPARTAN exploits;
+// the remaining survey fields carry irreducible per-row entropy.
+func Census(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "age", Kind: table.Numeric},
+		{Name: "educ_years", Kind: table.Numeric},
+		{Name: "hourly_pay", Kind: table.Numeric},
+		{Name: "weekly_hours", Kind: table.Numeric},
+		{Name: "weekly_earn", Kind: table.Numeric},
+		{Name: "household_size", Kind: table.Numeric},
+		{Name: "tenure_years", Kind: table.Numeric},
+		{Name: "education", Kind: table.Categorical},
+		{Name: "age_group", Kind: table.Categorical},
+		{Name: "income_band", Kind: table.Categorical},
+		{Name: "marital", Kind: table.Categorical},
+		{Name: "employment", Kind: table.Categorical},
+		{Name: "region", Kind: table.Categorical},
+		{Name: "occupation", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	maritals := []string{"single", "married", "divorced", "widowed"}
+	regions := []string{"northeast", "midwest", "south", "west"}
+	for i := 0; i < n; i++ {
+		age := 18 + float64(rng.Intn(73))
+		educYears := 8 + float64(rng.Intn(13)) // 8..20
+		education := educationLevel(educYears)
+		occIdx := occupationFor(educYears, rng)
+		// Pay is a graded multiple of the occupation/education base.
+		pay := round2(basePay(occIdx, educYears) * (1 + 0.05*float64(rng.Intn(5)-2)))
+		// Hours concentrate on full/part-time points.
+		var hours float64
+		switch h := rng.Float64(); {
+		case h < 0.08:
+			hours, pay = 0, 0 // not employed
+		case h < 0.78:
+			hours = 40
+		case h < 0.93:
+			hours = 20
+		default:
+			hours = 10 + float64(rng.Intn(30))
+		}
+		employment := employmentStatus(hours)
+		earn := round2(pay * hours)
+		marital := maritals[rng.Intn(len(maritals))]
+		if age < 22 && rng.Float64() < 0.8 {
+			marital = "single"
+		}
+		tenure := math.Min(age-18, 30)*0.6 + float64(rng.Intn(3))
+		b.MustAppendRow(
+			age, educYears, pay, hours, earn,
+			float64(1+rng.Intn(6)), tenure,
+			education, ageGroup(age), incomeBand(earn),
+			marital, employment, regions[rng.Intn(4)],
+			occupations[occIdx],
+		)
+	}
+	return b.MustBuild()
+}
+
+func employmentStatus(hours float64) string {
+	switch {
+	case hours == 0:
+		return "unemployed"
+	case hours < 35:
+		return "parttime"
+	default:
+		return "fulltime"
+	}
+}
+
+func ageGroup(age float64) string {
+	switch {
+	case age < 25:
+		return "18-24"
+	case age < 35:
+		return "25-34"
+	case age < 45:
+		return "35-44"
+	case age < 55:
+		return "45-54"
+	case age < 65:
+		return "55-64"
+	default:
+		return "65+"
+	}
+}
+
+func incomeBand(earn float64) string {
+	switch {
+	case earn == 0:
+		return "none"
+	case earn < 400:
+		return "low"
+	case earn < 800:
+		return "middle"
+	case earn < 1400:
+		return "upper"
+	default:
+		return "high"
+	}
+}
+
+var occupations = []string{
+	"service", "clerical", "trades", "operator",
+	"professional", "management", "technical", "sales",
+}
+
+func educationLevel(years float64) string {
+	switch {
+	case years < 12:
+		return "no_diploma"
+	case years < 13:
+		return "high_school"
+	case years < 16:
+		return "some_college"
+	case years < 18:
+		return "bachelor"
+	default:
+		return "graduate"
+	}
+}
+
+func occupationFor(educYears float64, rng *rand.Rand) int {
+	if educYears >= 16 {
+		return 4 + rng.Intn(4) // professional..sales
+	}
+	return rng.Intn(4)
+}
+
+func basePay(occIdx int, educYears float64) float64 {
+	return 8 + 3*float64(occIdx) + 1.5*(educYears-8)
+}
+
+// round2 rounds to cents and then through float32: every numeric value the
+// generators emit is exactly representable in the 4-byte cell format, so
+// raw serialization and lossless (ē=0) compression are bit-exact.
+func round2(v float64) float64 { return f32(math.Round(v*100) / 100) }
+
+func f32(v float64) float64 { return float64(float32(v)) }
+
+// Corel synthesizes a color-histogram-like table: 32 numeric attributes,
+// n rows. Each row is a smooth unimodal-to-bimodal histogram driven by a
+// low-dimensional latent (dominant hue position, bump width, secondary
+// hue): bins vary smoothly with their neighbors, making every column
+// highly predictable from a few others — the low-rank manifold structure
+// of real color histograms that drove the paper's strongest result.
+func Corel(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	const dims = 32
+	schema := make(table.Schema, dims)
+	for d := 0; d < dims; d++ {
+		schema[d] = table.Attribute{Name: "hist" + strconv.Itoa(d), Kind: table.Numeric}
+	}
+	b := table.MustBuilder(schema)
+	row := make([]any, dims)
+	vals := make([]float64, dims)
+	for i := 0; i < n; i++ {
+		// Latent image parameters: a dominant color bin whose mass decays
+		// exponentially into neighboring bins (a few discrete decay
+		// lengths), plus a weaker secondary color with continuous weight.
+		// Most cells are near zero; non-zero cells are smooth functions of
+		// a low-dimensional latent — the sparse, strongly-correlated shape
+		// of real color histograms.
+		dom := rng.Intn(dims)                 // dominant color bin
+		decay := 1 + 0.5*float64(rng.Intn(3)) // decay length: 1, 1.5, 2
+		sec := rng.Intn(dims)                 // secondary color bin
+		mix := 0.15 * rng.Float64()           // secondary weight (continuous)
+		total := 0.0
+		for d := 0; d < dims; d++ {
+			v := math.Exp(-math.Abs(float64(d-dom))/decay) +
+				mix*math.Exp(-math.Abs(float64(d-sec))/(decay*1.5))
+			if rng.Float64() < 0.01 {
+				v += 0.3 * rng.Float64() // rare speckle (outlier source)
+			}
+			vals[d] = v
+			total += v
+		}
+		for d := 0; d < dims; d++ {
+			// Real color-histogram features are pixel-count fractions of
+			// large per-image totals — effectively continuous. Quantize at
+			// 1e-5 like the UCI feature files (then through float32 for
+			// wire-format exactness).
+			row[d] = f32(math.Round(vals[d]/total*1e5) / 1e5)
+		}
+		b.MustAppendRow(row...)
+	}
+	return b.MustBuild()
+}
+
+// ForestCover synthesizes a covertype-like table: 10 numeric terrain
+// attributes and 44 categorical attributes (cover class, 3 aggregate
+// categorical descriptors, 4 one-hot wilderness flags and 36 one-hot soil
+// flags), n rows.
+func ForestCover(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "elevation", Kind: table.Numeric},
+		{Name: "aspect", Kind: table.Numeric},
+		{Name: "slope", Kind: table.Numeric},
+		{Name: "h_dist_water", Kind: table.Numeric},
+		{Name: "v_dist_water", Kind: table.Numeric},
+		{Name: "h_dist_road", Kind: table.Numeric},
+		{Name: "hillshade_9am", Kind: table.Numeric},
+		{Name: "hillshade_noon", Kind: table.Numeric},
+		{Name: "hillshade_3pm", Kind: table.Numeric},
+		{Name: "h_dist_fire", Kind: table.Numeric},
+		{Name: "cover_type", Kind: table.Categorical},
+		{Name: "climate_zone", Kind: table.Categorical},
+		{Name: "geology", Kind: table.Categorical},
+		{Name: "aspect_octant", Kind: table.Categorical},
+	}
+	for w := 0; w < 4; w++ {
+		schema = append(schema, table.Attribute{
+			Name: "wilderness_" + strconv.Itoa(w), Kind: table.Categorical})
+	}
+	for s := 0; s < 36; s++ {
+		schema = append(schema, table.Attribute{
+			Name: "soil_" + strconv.Itoa(s), Kind: table.Categorical})
+	}
+	b := table.MustBuilder(schema)
+	covers := []string{"spruce", "lodgepole", "ponderosa", "cottonwood", "aspen", "douglas", "krummholz"}
+	row := make([]any, len(schema))
+	for i := 0; i < n; i++ {
+		elev := 1800 + 1600*rng.Float64()
+		aspect := float64(rng.Intn(360))
+		slope := math.Abs(rng.NormFloat64() * 8)
+		if slope > 50 {
+			slope = 50
+		}
+		slope = math.Round(slope)
+		// Hillshades are deterministic trig functions of aspect and slope
+		// plus small noise — exactly the kind of column-wise dependency
+		// CaRT compression exploits.
+		hs9 := hillshade(aspect, slope, 45)
+		hsNoon := hillshade(aspect, slope, 180)
+		hs3 := hillshade(aspect, slope, 315)
+		// Distances correlate with elevation.
+		hWater := math.Round(math.Abs((elev-1800)/3 + rng.NormFloat64()*60))
+		vWater := math.Round(hWater/8 + rng.NormFloat64()*10)
+		hRoad := math.Round(math.Abs((3400-elev)*2 + rng.NormFloat64()*300))
+		hFire := math.Round(math.Abs((elev-2000)*1.5 + rng.NormFloat64()*400))
+
+		elevBand := int((elev - 1800) / 400) // 0..3
+		wilderness := elevBand
+		soil := soilFor(elevBand, slope, rng)
+		cover := coverFor(elev, slope, rng, covers)
+		climate := "montane"
+		if elev > 2800 {
+			climate = "subalpine"
+		}
+		if elev > 3200 {
+			climate = "alpine"
+		}
+		geology := "igneous"
+		if soil%3 == 1 {
+			geology = "glacial"
+		} else if soil%3 == 2 {
+			geology = "alluvium"
+		}
+
+		row[0] = math.Round(elev)
+		row[1] = aspect
+		row[2] = slope
+		row[3] = hWater
+		row[4] = vWater
+		row[5] = hRoad
+		row[6] = hs9
+		row[7] = hsNoon
+		row[8] = hs3
+		row[9] = hFire
+		row[10] = cover
+		row[11] = climate
+		row[12] = geology
+		row[13] = octant(aspect)
+		for w := 0; w < 4; w++ {
+			row[14+w] = boolStr(w == wilderness)
+		}
+		for s := 0; s < 36; s++ {
+			row[18+s] = boolStr(s == soil)
+		}
+		b.MustAppendRow(row...)
+	}
+	return b.MustBuild()
+}
+
+func hillshade(aspect, slope, sunAzimuth float64) float64 {
+	rad := math.Pi / 180
+	zenith := 40 * rad
+	v := math.Cos(zenith)*math.Cos(slope*rad) +
+		math.Sin(zenith)*math.Sin(slope*rad)*math.Cos((sunAzimuth-aspect)*rad)
+	if v < 0 {
+		v = 0
+	}
+	return math.Round(v * 254)
+}
+
+func soilFor(elevBand int, slope float64, rng *rand.Rand) int {
+	base := elevBand * 9
+	if slope > 20 {
+		base += 4
+	}
+	return base + rng.Intn(5)
+}
+
+func coverFor(elev, slope float64, rng *rand.Rand, covers []string) string {
+	switch {
+	case elev > 3300:
+		return covers[6] // krummholz
+	case elev > 2900:
+		if rng.Float64() < 0.7 {
+			return covers[0] // spruce
+		}
+		return covers[1]
+	case elev > 2400:
+		if slope > 15 && rng.Float64() < 0.4 {
+			return covers[5]
+		}
+		return covers[1] // lodgepole
+	case elev > 2100:
+		return covers[2+rng.Intn(2)]
+	default:
+		return covers[4]
+	}
+}
+
+func octant(aspect float64) string {
+	names := []string{"N", "NE", "E", "SE", "S", "SW", "W", "NW"}
+	return names[int(math.Mod(aspect+22.5, 360)/45)]
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// CDR synthesizes a call-detail-record table in the spirit of the paper's
+// motivating example (§1): per-call network, timestamp and billing fields
+// with strong inter-attribute dependencies (tariff → plan/peak/type,
+// duration × tariff → charge, trunk → exchange).
+func CDR(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "start_hour", Kind: table.Numeric},
+		{Name: "duration_sec", Kind: table.Numeric},
+		{Name: "rate_cents_min", Kind: table.Numeric},
+		{Name: "charge_cents", Kind: table.Numeric},
+		{Name: "src_exchange", Kind: table.Categorical},
+		{Name: "dst_exchange", Kind: table.Categorical},
+		{Name: "trunk", Kind: table.Categorical},
+		{Name: "plan", Kind: table.Categorical},
+		{Name: "peak", Kind: table.Categorical},
+		{Name: "call_type", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	exchanges := []string{"201", "212", "315", "408", "415", "607", "716", "908"}
+	plans := []string{"basic", "saver", "business"}
+	rates := map[string]float64{"basic": 10, "saver": 7, "business": 5}
+	for i := 0; i < n; i++ {
+		hour := float64(rng.Intn(24))
+		dur := math.Round(math.Abs(rng.NormFloat64())*240 + 20)
+		src := exchanges[rng.Intn(len(exchanges))]
+		dst := exchanges[rng.Intn(len(exchanges))]
+		callType := "local"
+		if src != dst {
+			callType = "long_distance"
+		}
+		plan := plans[rng.Intn(len(plans))]
+		rate := rates[plan]
+		if callType == "long_distance" {
+			rate *= 2.5
+		}
+		peak := "peak"
+		if hour >= 19 || hour < 7 {
+			peak = "offpeak"
+			rate *= 0.6
+		}
+		charge := math.Round(dur / 60 * rate)
+		trunk := src + "-T" + strconv.Itoa(rng.Intn(3))
+		b.MustAppendRow(hour, dur, f32(rate), charge, src, dst, trunk, plan, peak, callType)
+	}
+	return b.MustBuild()
+}

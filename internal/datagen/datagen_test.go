@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+func TestCensusShape(t *testing.T) {
+	tb := Census(500, 1)
+	if tb.NumRows() != 500 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.NumCols() != 14 {
+		t.Fatalf("cols = %d, want 14 (7 numeric + 7 categorical)", tb.NumCols())
+	}
+	numeric, categorical := kindCounts(tb)
+	if numeric != 7 || categorical != 7 {
+		t.Errorf("kinds = %d numeric, %d categorical; want 7/7", numeric, categorical)
+	}
+	// Small categorical domains, like CPS data.
+	for i := 0; i < tb.NumCols(); i++ {
+		if tb.Attr(i).Kind == table.Categorical {
+			if d := tb.Col(i).DomainSize(); d > 10 {
+				t.Errorf("attribute %q domain %d too large", tb.Attr(i).Name, d)
+			}
+		}
+	}
+}
+
+func TestCensusDependencies(t *testing.T) {
+	tb := Census(2000, 2)
+	// weekly_earn ≈ hourly_pay × weekly_hours: correlation must be strong.
+	pay := tb.ColByName("hourly_pay").Floats
+	hours := tb.ColByName("weekly_hours").Floats
+	earn := tb.ColByName("weekly_earn").Floats
+	for i := range earn {
+		want := pay[i] * hours[i]
+		if math.Abs(earn[i]-want) > 1+0.01*want {
+			t.Fatalf("row %d: earn %g != pay*hours %g", i, earn[i], want)
+		}
+	}
+	// Recoded columns are exact functions of their sources.
+	years := tb.ColByName("educ_years").Floats
+	educ := tb.ColByName("education")
+	ages := tb.ColByName("age").Floats
+	groups := tb.ColByName("age_group")
+	bands := tb.ColByName("income_band")
+	emp := tb.ColByName("employment")
+	for i := range years {
+		if educ.Dict[educ.Codes[i]] != educationLevel(years[i]) {
+			t.Fatalf("row %d: education inconsistent with years", i)
+		}
+		if groups.Dict[groups.Codes[i]] != ageGroup(ages[i]) {
+			t.Fatalf("row %d: age_group inconsistent with age", i)
+		}
+		if bands.Dict[bands.Codes[i]] != incomeBand(earn[i]) {
+			t.Fatalf("row %d: income_band inconsistent with earnings", i)
+		}
+		if emp.Dict[emp.Codes[i]] != employmentStatus(hours[i]) {
+			t.Fatalf("row %d: employment inconsistent with hours", i)
+		}
+	}
+}
+
+func TestCorelShape(t *testing.T) {
+	tb := Corel(500, 3)
+	if tb.NumCols() != 32 {
+		t.Fatalf("cols = %d, want 32", tb.NumCols())
+	}
+	numeric, categorical := kindCounts(tb)
+	if numeric != 32 || categorical != 0 {
+		t.Errorf("kinds = %d/%d, want 32 numeric only", numeric, categorical)
+	}
+	// Histogram rows: non-negative, roughly summing to 1.
+	for r := 0; r < tb.NumRows(); r++ {
+		sum := 0.0
+		for c := 0; c < 32; c++ {
+			v := tb.Float(r, c)
+			if v < 0 {
+				t.Fatalf("negative histogram value at (%d,%d)", r, c)
+			}
+			sum += v
+		}
+		// 1/64-grid rounding of 32 bins can drift the sum by a few
+		// half-steps.
+		if math.Abs(sum-1) > 0.08 {
+			t.Fatalf("row %d sums to %g", r, sum)
+		}
+	}
+}
+
+func TestCorelHasClusterCorrelation(t *testing.T) {
+	tb := Corel(1500, 4)
+	// With latent clusters, some attribute pair must show clear mutual
+	// information after discretization.
+	best := 0.0
+	codes := make([][]int, 12)
+	bins := make([]int, 12)
+	for c := 0; c < 12; c++ {
+		d := stats.NewDiscretizer(tb.Col(c).Floats, 8)
+		codes[c] = d.CodeAll(tb.Col(c).Floats)
+		bins[c] = d.Bins()
+	}
+	for a := 0; a < 12; a++ {
+		for c := a + 1; c < 12; c++ {
+			if mi := stats.MutualInformation(codes[a], codes[c], bins[a], bins[c]); mi > best {
+				best = mi
+			}
+		}
+	}
+	if best < 0.2 {
+		t.Errorf("max pairwise MI %.3f; expected strong cluster correlation", best)
+	}
+}
+
+func TestForestCoverShape(t *testing.T) {
+	tb := ForestCover(500, 5)
+	if tb.NumCols() != 54 {
+		t.Fatalf("cols = %d, want 54 (10 numeric + 44 categorical)", tb.NumCols())
+	}
+	numeric, categorical := kindCounts(tb)
+	if numeric != 10 || categorical != 44 {
+		t.Errorf("kinds = %d/%d, want 10/44", numeric, categorical)
+	}
+	// One-hot wilderness block: exactly one "1" per row.
+	for r := 0; r < tb.NumRows(); r++ {
+		ones := 0
+		for w := 0; w < 4; w++ {
+			if tb.CatString(r, 14+w) == "1" {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("row %d has %d wilderness flags set", r, ones)
+		}
+		ones = 0
+		for s := 0; s < 36; s++ {
+			if tb.CatString(r, 18+s) == "1" {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("row %d has %d soil flags set", r, ones)
+		}
+	}
+}
+
+func TestForestCoverHillshadeDependency(t *testing.T) {
+	tb := ForestCover(300, 6)
+	// Hillshade is a deterministic function of aspect and slope.
+	for r := 0; r < tb.NumRows(); r++ {
+		aspect := tb.Float(r, 1)
+		slope := tb.Float(r, 2)
+		if got, want := tb.Float(r, 7), hillshade(aspect, slope, 180); got != want {
+			t.Fatalf("row %d: hillshade_noon %g != %g", r, got, want)
+		}
+	}
+}
+
+func TestCDRDependencies(t *testing.T) {
+	tb := CDR(500, 7)
+	if tb.NumRows() != 500 || tb.NumCols() != 10 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	// call_type is a function of src/dst exchanges; peak of start_hour.
+	for r := 0; r < tb.NumRows(); r++ {
+		src, dst := tb.CatString(r, 4), tb.CatString(r, 5)
+		want := "local"
+		if src != dst {
+			want = "long_distance"
+		}
+		if got := tb.CatString(r, 9); got != want {
+			t.Fatalf("row %d: call_type %q, want %q", r, got, want)
+		}
+		hour := tb.Float(r, 0)
+		wantPeak := "peak"
+		if hour >= 19 || hour < 7 {
+			wantPeak = "offpeak"
+		}
+		if got := tb.CatString(r, 8); got != wantPeak {
+			t.Fatalf("row %d: peak %q, want %q", r, got, wantPeak)
+		}
+		// trunk is prefixed by the source exchange.
+		if trunk := tb.CatString(r, 6); trunk[:3] != src {
+			t.Fatalf("row %d: trunk %q does not match src %q", r, trunk, src)
+		}
+		// charge = duration/60 * rate, rounded.
+		wantCharge := float64(float32(tb.Float(r, 1) / 60 * tb.Float(r, 2)))
+		if got := tb.Float(r, 3); got < wantCharge-1 || got > wantCharge+1 {
+			t.Fatalf("row %d: charge %g, want ≈%g", r, got, wantCharge)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if !table.Equal(Census(100, 42), Census(100, 42)) {
+		t.Error("Census not deterministic")
+	}
+	if !table.Equal(Corel(100, 42), Corel(100, 42)) {
+		t.Error("Corel not deterministic")
+	}
+	if !table.Equal(ForestCover(100, 42), ForestCover(100, 42)) {
+		t.Error("ForestCover not deterministic")
+	}
+	if !table.Equal(CDR(100, 42), CDR(100, 42)) {
+		t.Error("CDR not deterministic")
+	}
+	if table.Equal(Census(100, 1), Census(100, 2)) {
+		t.Error("different seeds produced identical Census tables")
+	}
+}
+
+func kindCounts(tb *table.Table) (numeric, categorical int) {
+	for i := 0; i < tb.NumCols(); i++ {
+		if tb.Attr(i).Kind == table.Numeric {
+			numeric++
+		} else {
+			categorical++
+		}
+	}
+	return numeric, categorical
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Small-row smoke tests keep the suite fast; the real sweeps run through
+// cmd/spartanbench and the root benchmarks.
+
+func TestMeasureSmall(t *testing.T) {
+	for _, d := range AllDatasets {
+		m, err := Measure(d, 2000, 0.01, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		for name, r := range map[string]CompressorResult{
+			"gzip": m.Gzip, "fascicles": m.Fascicles, "spartan": m.Spartan,
+		} {
+			if r.Bytes <= 0 || r.Ratio <= 0 {
+				t.Errorf("%s/%s: empty result %+v", d, name, r)
+			}
+			if r.Ratio >= 1.2 {
+				t.Errorf("%s/%s: ratio %.3f worse than raw", d, name, r.Ratio)
+			}
+		}
+		if m.Stats == nil || len(m.Stats.Predicted)+len(m.Stats.Materialized) == 0 {
+			t.Errorf("%s: missing SPARTAN stats", d)
+		}
+	}
+}
+
+func TestSpartanBeatsGzipOnCorel(t *testing.T) {
+	// The paper's headline: on the all-numeric Corel data at 5-10%
+	// tolerance SPARTAN wins by a large factor.
+	m, err := Measure(Corel, 4000, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spartan.Ratio >= m.Gzip.Ratio {
+		t.Errorf("spartan %.3f not better than gzip %.3f on Corel at 5%%",
+			m.Spartan.Ratio, m.Gzip.Ratio)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	rows, err := Table1([]Dataset{Census}, 2000, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Strategies) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Table1Strategies))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Elapsed <= 0 {
+			t.Errorf("empty row %+v", r)
+		}
+	}
+}
+
+func TestFig6aSmallRun(t *testing.T) {
+	pts, err := Fig6a(Census, 3000, 0.01, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(SampleSizes) {
+		t.Fatalf("got %d points, want %d", len(pts), len(SampleSizes))
+	}
+	for _, p := range pts {
+		if p.Ratio <= 0 || p.Elapsed <= 0 {
+			t.Errorf("empty point %+v", p)
+		}
+	}
+}
+
+func TestAblationsSmallRun(t *testing.T) {
+	rows, err := Ablations(Census, 2000, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d ablations, want 4", len(rows))
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	if _, err := Dataset("nope").Load(10, 1); err == nil {
+		t.Error("Load accepted unknown dataset")
+	}
+	for _, d := range AllDatasets {
+		if d.DefaultRows() <= 0 || d.FascicleK() <= 0 {
+			t.Errorf("%s: bad defaults", d)
+		}
+	}
+	// Elapsed fields are real durations.
+	m, err := Measure(Census, 500, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spartan.Elapsed <= 0 || m.Spartan.Elapsed > time.Minute {
+		t.Errorf("implausible elapsed %v", m.Spartan.Elapsed)
+	}
+}
+
+func TestLosslessSmallRun(t *testing.T) {
+	row, err := Lossless(Census, 1500, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]CompressorResult{
+		"gzip": row.Gzip, "pzip": row.Pzip, "spartan": row.Spartan,
+	} {
+		if r.Bytes <= 0 || r.Ratio <= 0 || r.Ratio >= 1 {
+			t.Errorf("%s: implausible result %+v", name, r)
+		}
+	}
+}
+
+func TestFig5SmallRun(t *testing.T) {
+	ms, err := Fig5(Census, 1200, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(Thresholds) {
+		t.Fatalf("got %d measurements, want %d", len(ms), len(Thresholds))
+	}
+	// SPARTAN's ratio must be non-increasing-ish in the tolerance (allow
+	// small noise).
+	first, last := ms[0].Spartan.Ratio, ms[len(ms)-1].Spartan.Ratio
+	if last > first*1.1 {
+		t.Errorf("spartan ratio grew with tolerance: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestFig6bSmallRun(t *testing.T) {
+	pts, err := Fig6b(Census, 1200, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Thresholds) {
+		t.Fatalf("got %d points, want %d", len(pts), len(Thresholds))
+	}
+	for _, p := range pts {
+		if p.Elapsed <= 0 || p.Stats == nil {
+			t.Errorf("empty point %+v", p)
+		}
+	}
+}

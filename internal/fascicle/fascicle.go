@@ -1,0 +1,454 @@
+// Package fascicle implements row-wise semantic compression with fascicles
+// (Jagadish, Madar, Ng, VLDB 1999), the technique SPARTAN uses in its
+// RowAggregator component (paper §3.4) and compares against as a baseline
+// (paper §4).
+//
+// A fascicle is a set of rows that agree, within a compactness tolerance,
+// on k "compact" attributes: a numeric attribute is compact in a row set
+// when its value range has width at most 2e (so the range midpoint is
+// within e of every member); a categorical attribute is compact when all
+// rows share one value. Compact attributes are stored once per fascicle.
+//
+// For SPARTAN's RowAggregator the paper strengthens compactness: a compact
+// numeric attribute's range [x', x”] must not straddle any CaRT split
+// value v (either x' > v or x” ≤ v), which guarantees the quantized
+// predictor values traverse exactly the same tree paths as the originals.
+// This package implements that rule via the SplitValues option.
+//
+// The lattice search of the original Single-k algorithm is replaced by a
+// deterministic seeded greedy growth (DESIGN.md §4): take the first
+// unassigned row as seed, find for every attribute the rows that fit a
+// compactness window around the seed, keep the k best-populated
+// attributes, and emit the rows matching all k.
+package fascicle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Params configures fascicle computation, mirroring the knobs of the
+// Single-k algorithm.
+type Params struct {
+	// K is the number of compact attributes per fascicle. Zero defaults to
+	// two-thirds of the attribute count (the paper's RowAggregator
+	// setting).
+	K int
+	// MaxFascicles bounds the number of fascicles (the paper's P,
+	// default 500).
+	MaxFascicles int
+	// MinSize is the minimum fascicle row count (the paper's m); smaller
+	// candidate groups stay uncompressed. Default max(2, 0.01% of rows).
+	MinSize int
+	// Widths holds the per-attribute compactness tolerance: for a numeric
+	// attribute i the maximum allowed value range is 2·Widths[i] (the paper
+	// sets the compactness tolerance to twice the error tolerance, i.e.
+	// Widths[i] = eᵢ). Categorical attributes are compact only when equal,
+	// regardless of width; their entry must be 0.
+	Widths []float64
+	// SplitValues optionally lists, per attribute, the CaRT split values
+	// that compact ranges must not straddle (RowAggregator mode).
+	SplitValues [][]float64
+}
+
+func (p Params) withDefaults(t *table.Table) (Params, error) {
+	if len(p.Widths) != t.NumCols() {
+		return p, fmt.Errorf("fascicle: %d widths for %d attributes", len(p.Widths), t.NumCols())
+	}
+	if p.K <= 0 {
+		p.K = 2 * t.NumCols() / 3
+		if p.K < 1 {
+			p.K = 1
+		}
+	}
+	if p.K > t.NumCols() {
+		p.K = t.NumCols()
+	}
+	if p.MaxFascicles <= 0 {
+		p.MaxFascicles = 500
+	}
+	if p.MinSize <= 0 {
+		p.MinSize = t.NumRows() / 10000
+		if p.MinSize < 2 {
+			p.MinSize = 2
+		}
+	}
+	if p.SplitValues != nil && len(p.SplitValues) != t.NumCols() {
+		return p, fmt.Errorf("fascicle: %d split-value lists for %d attributes", len(p.SplitValues), t.NumCols())
+	}
+	return p, nil
+}
+
+// Fascicle is one row cluster: Rows lists the member row indices (in
+// increasing order), CompactAttrs the attributes stored once, and Reps the
+// representative value for each compact attribute (numeric midpoint or
+// categorical code, by attribute kind).
+type Fascicle struct {
+	Rows         []int
+	CompactAttrs []int
+	NumReps      []float64 // representative per compact numeric attribute
+	CatReps      []int32   // representative per compact categorical attribute
+}
+
+// repFor returns the representative for compact attribute position j.
+func (f *Fascicle) repFor(t *table.Table, j int) (float64, int32) {
+	attr := f.CompactAttrs[j]
+	if t.Attr(attr).Kind == table.Numeric {
+		return f.NumReps[j], 0
+	}
+	return 0, f.CatReps[j]
+}
+
+// Clustering is the result of fascicle detection over a table.
+type Clustering struct {
+	Fascicles []Fascicle
+	// Leftover lists rows assigned to no fascicle; they are stored
+	// verbatim.
+	Leftover []int
+	params   Params
+}
+
+// Cluster detects fascicles greedily. The result is deterministic for a
+// given table and parameters. Complexity is O(n·cols) for index
+// construction plus near-O(output) per fascicle: windows are counted by
+// binary search on per-column sorted indexes, and candidate rows are
+// extracted only from the sparsest chosen attribute.
+func Cluster(t *table.Table, p Params) (*Clustering, error) {
+	p, err := p.withDefaults(t)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+	idx := buildIndex(t)
+	assigned := make([]bool, n)
+	var fascicles []Fascicle
+	var leftover []int
+
+	// Seeds that fail to grow are skipped permanently; cap total attempts
+	// so degenerate tables (nothing clusters) stay linear.
+	maxTries := 4*p.MaxFascicles + 64
+	seed, tries := 0, 0
+	for len(fascicles) < p.MaxFascicles && tries < maxTries {
+		for seed < n && assigned[seed] {
+			seed++
+		}
+		if seed >= n {
+			break
+		}
+		tries++
+		f, ok := growFascicle(t, p, idx, seed, assigned)
+		if !ok {
+			seed++ // this seed stays a leftover unless a later fascicle absorbs it
+			continue
+		}
+		for _, r := range f.Rows {
+			assigned[r] = true
+		}
+		fascicles = append(fascicles, f)
+	}
+	for r := 0; r < n; r++ {
+		if !assigned[r] {
+			leftover = append(leftover, r)
+		}
+	}
+	return &Clustering{Fascicles: fascicles, Leftover: leftover, params: p}, nil
+}
+
+// colIndex accelerates window membership queries.
+type colIndex struct {
+	// numeric: rows sorted by value.
+	sortedVals []float64
+	sortedRows []int
+	// categorical: rows per code.
+	buckets map[int32][]int
+}
+
+func buildIndex(t *table.Table) []colIndex {
+	idx := make([]colIndex, t.NumCols())
+	for a := 0; a < t.NumCols(); a++ {
+		col := t.Col(a)
+		if col.Kind == table.Numeric {
+			order := make([]int, len(col.Floats))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(i, j int) bool {
+				return col.Floats[order[i]] < col.Floats[order[j]]
+			})
+			vals := make([]float64, len(order))
+			for i, r := range order {
+				vals[i] = col.Floats[r]
+			}
+			idx[a] = colIndex{sortedVals: vals, sortedRows: order}
+			continue
+		}
+		buckets := make(map[int32][]int)
+		for r, c := range col.Codes {
+			buckets[c] = append(buckets[c], r)
+		}
+		idx[a] = colIndex{buckets: buckets}
+	}
+	return idx
+}
+
+// countRange returns the number of rows with value in [lo, hi].
+func (ci *colIndex) countRange(lo, hi float64) int {
+	a := sort.SearchFloat64s(ci.sortedVals, lo)
+	b := sort.Search(len(ci.sortedVals), func(i int) bool { return ci.sortedVals[i] > hi })
+	return b - a
+}
+
+// rowsInRange appends the unassigned rows with value in [lo, hi].
+func (ci *colIndex) rowsInRange(lo, hi float64, assigned []bool, out []int) []int {
+	a := sort.SearchFloat64s(ci.sortedVals, lo)
+	b := sort.Search(len(ci.sortedVals), func(i int) bool { return ci.sortedVals[i] > hi })
+	for i := a; i < b; i++ {
+		if r := ci.sortedRows[i]; !assigned[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// attrMatch records, for one attribute, the compactness window around the
+// current seed and an (index-estimated) population count.
+type attrMatch struct {
+	attr  int
+	count int     // estimated rows in window (may include assigned rows)
+	lo    float64 // numeric window bounds
+	hi    float64
+	isCat bool
+	seedC int32 // seed's code (categorical attributes)
+}
+
+// growFascicle builds the candidate fascicle seeded at row seed and
+// reports whether it meets the minimum size.
+func growFascicle(t *table.Table, p Params, idx []colIndex, seed int, assigned []bool) (Fascicle, bool) {
+	ncols := t.NumCols()
+	matches := make([]attrMatch, 0, ncols)
+	for a := 0; a < ncols; a++ {
+		col := t.Col(a)
+		am := attrMatch{attr: a}
+		if col.Kind == table.Numeric {
+			// The compactness window may sit anywhere as long as it has
+			// width ≤ 2·w and contains the seed; try the three natural
+			// anchorings and keep the most populated one. Counts come from
+			// the sorted index and may include already-assigned rows — a
+			// deliberate approximation that keeps scoring O(log n).
+			s, w := t.Float(seed, a), p.Widths[a]
+			splits := splitsFor(p, a)
+			am.count = -1
+			for _, anchor := range [3][2]float64{{s - 2*w, s}, {s - w, s + w}, {s, s + 2*w}} {
+				lo, hi := clampWindow(s, anchor[0], anchor[1], splits)
+				if count := idx[a].countRange(lo, hi); count > am.count {
+					am.count = count
+					am.lo, am.hi = lo, hi
+				}
+			}
+		} else {
+			am.isCat = true
+			am.seedC = col.Codes[seed]
+			am.count = len(idx[a].buckets[am.seedC])
+		}
+		matches = append(matches, am)
+	}
+	if len(matches) < p.K {
+		return Fascicle{}, false
+	}
+	// Keep the K attributes with the highest estimated population.
+	sort.SliceStable(matches, func(i, j int) bool {
+		return matches[i].count > matches[j].count
+	})
+	chosen := matches[:p.K]
+
+	// Extract candidate rows from the sparsest chosen attribute, then
+	// filter by the remaining constraints.
+	sparse := chosen[0]
+	for _, am := range chosen[1:] {
+		if am.count < sparse.count {
+			sparse = am
+		}
+	}
+	var cands []int
+	if sparse.isCat {
+		for _, r := range idx[sparse.attr].buckets[sparse.seedC] {
+			if !assigned[r] {
+				cands = append(cands, r)
+			}
+		}
+	} else {
+		cands = idx[sparse.attr].rowsInRange(sparse.lo, sparse.hi, assigned, nil)
+	}
+	rows := cands[:0]
+	for _, r := range cands {
+		ok := true
+		for _, am := range chosen {
+			if am.attr == sparse.attr {
+				continue
+			}
+			if am.isCat {
+				if t.Code(r, am.attr) != am.seedC {
+					ok = false
+					break
+				}
+			} else if v := t.Float(r, am.attr); v < am.lo || v > am.hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) < p.MinSize {
+		return Fascicle{}, false
+	}
+	sort.Ints(rows)
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].attr < chosen[j].attr })
+
+	// Representatives: the most frequent member value (ties broken low).
+	// Using an existing domain value — rather than the range midpoint —
+	// means quantization never introduces new distinct values, so the
+	// downstream dictionary coder only ever benefits. Members farther than
+	// the width from the representative are dropped below, keeping the
+	// error bound valid for every member by construction. (Values are
+	// float32-exact already, so no wire-format rounding applies.)
+	reps := make([]float64, len(chosen))
+	for ci, am := range chosen {
+		if am.isCat {
+			continue
+		}
+		col := t.Col(am.attr)
+		counts := make(map[float64]int, 16)
+		for _, r := range rows {
+			counts[col.Floats[r]]++
+		}
+		bestV, bestC := math.Inf(1), -1
+		for v, c := range counts {
+			if c > bestC || (c == bestC && v < bestV) {
+				bestV, bestC = v, c
+			}
+		}
+		// Values built through table.Builder are float32-exact already;
+		// rounding here guards tables assembled via table.New from raw
+		// float64 columns (the member-validation pass below drops any row
+		// the rounding pushes out of bounds).
+		reps[ci] = float64(float32(bestV))
+	}
+	valid := rows[:0]
+	for _, r := range rows {
+		ok := true
+		for ci, am := range chosen {
+			if am.isCat {
+				continue
+			}
+			v := t.Float(r, am.attr)
+			if math.Abs(reps[ci]-v) > p.Widths[am.attr] ||
+				!sameSide(reps[ci], v, splitsFor(p, am.attr)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			valid = append(valid, r)
+		}
+	}
+	if len(valid) < p.MinSize {
+		return Fascicle{}, false
+	}
+	f := Fascicle{Rows: valid}
+	for ci, am := range chosen {
+		f.CompactAttrs = append(f.CompactAttrs, am.attr)
+		if am.isCat {
+			f.NumReps = append(f.NumReps, 0)
+			f.CatReps = append(f.CatReps, am.seedC)
+		} else {
+			f.NumReps = append(f.NumReps, reps[ci])
+			f.CatReps = append(f.CatReps, 0)
+		}
+	}
+	return f, true
+}
+
+func splitsFor(p Params, attr int) []float64 {
+	if p.SplitValues == nil {
+		return nil
+	}
+	return p.SplitValues[attr]
+}
+
+// clampWindow shrinks a candidate window [lo, hi] containing seed value s
+// so it does not straddle any split value: the final range must satisfy
+// lo > v or hi <= v for every split v (the paper's RowAggregator
+// compactness rule). The seed always remains inside.
+func clampWindow(s, lo, hi float64, splits []float64) (float64, float64) {
+	for _, v := range splits {
+		if s <= v {
+			// Seed on the "≤ v" side: clamp hi to v.
+			if hi > v {
+				hi = v
+			}
+		} else if lo <= v {
+			// Seed on the "> v" side: clamp lo just above v.
+			lo = math.Nextafter(v, math.Inf(1))
+		}
+	}
+	return lo, hi
+}
+
+// Quantize returns a copy of the table with every compact attribute value
+// replaced by its fascicle representative, preserving row order. Each
+// changed numeric value moves by at most the attribute's width; categorical
+// values never change (their compactness requires equality). This is the
+// in-place form used by SPARTAN's RowAggregator: the quantized column has
+// far fewer distinct values, which the downstream entropy coder exploits.
+//
+// Representatives are float32-exact and validated against every member at
+// construction time, so the guarantees hold bit-exactly after the table
+// travels through the float32 wire format.
+func (c *Clustering) Quantize(t *table.Table) *table.Table {
+	out := t.Clone()
+	for fi := range c.Fascicles {
+		f := &c.Fascicles[fi]
+		for j, attr := range f.CompactAttrs {
+			col := out.Col(attr)
+			num, cat := f.repFor(t, j)
+			for _, r := range f.Rows {
+				if col.Kind == table.Numeric {
+					col.Floats[r] = num
+				} else {
+					col.Codes[r] = cat
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sameSide reports whether a and b fall on the same side of every split
+// value.
+func sameSide(a, b float64, splits []float64) bool {
+	for _, v := range splits {
+		if (a <= v) != (b <= v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompressedValueCount returns the number of values the clustering stores,
+// the unit the paper uses in Example 2.1: one per compact attribute per
+// fascicle, plus one per non-compact attribute per member row, plus full
+// rows for leftovers.
+func (c *Clustering) CompressedValueCount(t *table.Table) int {
+	total := len(c.Leftover) * t.NumCols()
+	for i := range c.Fascicles {
+		f := &c.Fascicles[i]
+		total += len(f.CompactAttrs)
+		total += (t.NumCols() - len(f.CompactAttrs)) * len(f.Rows)
+	}
+	return total
+}

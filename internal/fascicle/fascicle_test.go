@@ -1,0 +1,425 @@
+package fascicle
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+// paperTable reproduces the 8-tuple table of Figure 1(a).
+func paperTable(t testing.TB) *table.Table {
+	t.Helper()
+	schema := table.Schema{
+		{Name: "age", Kind: table.Numeric},
+		{Name: "salary", Kind: table.Numeric},
+		{Name: "assets", Kind: table.Numeric},
+		{Name: "credit", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	rows := [][]any{
+		{30.0, 90000.0, 200000.0, "good"},
+		{50.0, 110000.0, 250000.0, "good"},
+		{70.0, 35000.0, 125000.0, "poor"},
+		{75.0, 15000.0, 100000.0, "poor"},
+		{25.0, 50000.0, 75000.0, "good"},
+		{35.0, 76000.0, 75000.0, "good"},
+		{45.0, 100000.0, 175000.0, "poor"},
+		{55.0, 80000.0, 150000.0, "good"},
+	}
+	for _, r := range rows {
+		b.MustAppendRow(r...)
+	}
+	return b.MustBuild()
+}
+
+func paperWidths() []float64 { return []float64{2, 5000, 25000, 0} }
+
+// TestPaperExample21 mirrors Example 2.1: with tolerances (2, 5000, 25000,
+// 0) fascicles on (assets, credit) reduce the stored value count below the
+// raw 8×4 = 32 values.
+func TestPaperExample21(t *testing.T) {
+	tb := paperTable(t)
+	c, err := Cluster(tb, Params{K: 2, MinSize: 2, Widths: paperWidths()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fascicles) == 0 {
+		t.Fatal("no fascicles found on the paper's example")
+	}
+	if got := c.CompressedValueCount(tb); got >= 32 {
+		t.Errorf("fascicles store %d values, want < 32", got)
+	}
+	// Every fascicle must satisfy the compactness semantics.
+	assertCompact(t, tb, c, paperWidths())
+}
+
+func assertCompact(t *testing.T, tb *table.Table, c *Clustering, widths []float64) {
+	t.Helper()
+	for fi := range c.Fascicles {
+		f := &c.Fascicles[fi]
+		for j, attr := range f.CompactAttrs {
+			col := tb.Col(attr)
+			if col.Kind == table.Numeric {
+				mn, mx := math.Inf(1), math.Inf(-1)
+				for _, r := range f.Rows {
+					v := col.Floats[r]
+					mn = math.Min(mn, v)
+					mx = math.Max(mx, v)
+				}
+				if mx-mn > 2*widths[attr]+1e-9 {
+					t.Errorf("fascicle %d attr %d range %g exceeds 2e=%g",
+						fi, attr, mx-mn, 2*widths[attr])
+				}
+				rep := f.NumReps[j]
+				for _, r := range f.Rows {
+					if math.Abs(col.Floats[r]-rep) > widths[attr]+1e-9 {
+						t.Errorf("fascicle %d attr %d rep %g is %g from member",
+							fi, attr, rep, math.Abs(col.Floats[r]-rep))
+					}
+				}
+			} else {
+				for _, r := range f.Rows {
+					if col.Codes[r] != f.CatReps[j] {
+						t.Errorf("fascicle %d: categorical attr %d not constant", fi, attr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClusterParamValidation(t *testing.T) {
+	tb := paperTable(t)
+	if _, err := Cluster(tb, Params{Widths: []float64{1}}); err == nil {
+		t.Error("Cluster accepted wrong-length widths")
+	}
+	if _, err := Cluster(tb, Params{Widths: paperWidths(),
+		SplitValues: [][]float64{nil}}); err == nil {
+		t.Error("Cluster accepted wrong-length split values")
+	}
+	// K larger than the column count clamps.
+	c, err := Cluster(tb, Params{K: 99, MinSize: 2, Widths: paperWidths()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Fascicles {
+		if len(c.Fascicles[i].CompactAttrs) > tb.NumCols() {
+			t.Error("fascicle has more compact attrs than columns")
+		}
+	}
+}
+
+func TestClusterCoversAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := clusteredTable(rng, 500)
+	widths := []float64{1, 1, 0}
+	c, err := Cluster(tb, Params{K: 2, Widths: widths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, tb.NumRows())
+	for i := range c.Fascicles {
+		for _, r := range c.Fascicles[i].Rows {
+			if seen[r] {
+				t.Fatalf("row %d in two fascicles", r)
+			}
+			seen[r] = true
+		}
+	}
+	for _, r := range c.Leftover {
+		if seen[r] {
+			t.Fatalf("leftover row %d also in a fascicle", r)
+		}
+		seen[r] = true
+	}
+	for r, s := range seen {
+		if !s {
+			t.Fatalf("row %d unaccounted for", r)
+		}
+	}
+}
+
+// clusteredTable draws rows from a few well-separated centers, ideal for
+// fascicle detection.
+func clusteredTable(rng *rand.Rand, n int) *table.Table {
+	schema := table.Schema{
+		{Name: "a", Kind: table.Numeric},
+		{Name: "b", Kind: table.Numeric},
+		{Name: "c", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	centers := [][2]float64{{10, 100}, {50, 200}, {90, 300}}
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		k := rng.Intn(3)
+		b.MustAppendRow(
+			centers[k][0]+rng.Float64(),
+			centers[k][1]+rng.Float64(),
+			cats[k],
+		)
+	}
+	return b.MustBuild()
+}
+
+func TestQuantizePreservesOrderAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tb := clusteredTable(rng, 400)
+	widths := []float64{1, 1, 0}
+	c, err := Cluster(tb, Params{K: 2, Widths: widths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Quantize(tb)
+	if q.NumRows() != tb.NumRows() {
+		t.Fatal("Quantize changed row count")
+	}
+	diffs, err := table.MaxAbsDiff(tb, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, d := range diffs {
+		if d > widths[a]+1e-9 {
+			t.Errorf("attr %d quantization error %g > width %g", a, d, widths[a])
+		}
+	}
+	// Categorical column must be untouched.
+	if diffs[2] != 0 {
+		t.Error("categorical column changed by quantization")
+	}
+}
+
+func TestSplitValueInvariantProperty(t *testing.T) {
+	// Property: with SplitValues set, quantized values stay on the same
+	// side of every split value as the originals.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := clusteredTable(rng, 200)
+		splits := [][]float64{{10.5, 50.5, 89.9}, {150, 250.2}, nil}
+		widths := []float64{1, 1, 0}
+		c, err := Cluster(tb, Params{K: 2, Widths: widths, SplitValues: splits})
+		if err != nil {
+			return false
+		}
+		q := c.Quantize(tb)
+		for a := 0; a < 2; a++ {
+			for r := 0; r < tb.NumRows(); r++ {
+				orig, quant := tb.Float(r, a), q.Float(r, a)
+				for _, v := range splits[a] {
+					if (orig <= v) != (quant <= v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, wByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := clusteredTable(rng, 150)
+		w := float64(wByte)/16 + 0.1
+		widths := []float64{w, w, 0}
+		c, err := Cluster(tb, Params{Widths: widths})
+		if err != nil {
+			return false
+		}
+		q := c.Quantize(tb)
+		diffs, err := table.MaxAbsDiff(tb, q)
+		if err != nil {
+			return false
+		}
+		return diffs[0] <= w+1e-9 && diffs[1] <= w+1e-9 && diffs[2] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rowStrings renders a table as a sorted multiset of row strings for
+// order-insensitive comparison.
+func rowStrings(t *table.Table) []string {
+	out := make([]string, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		var sb strings.Builder
+		for c := 0; c < t.NumCols(); c++ {
+			if t.Attr(c).Kind == table.Numeric {
+				sb.WriteString(strconv.FormatFloat(t.Float(r, c), 'g', 8, 64))
+			} else {
+				sb.WriteString(t.CatString(r, c))
+			}
+			sb.WriteByte('|')
+		}
+		out[r] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCompressDecompressMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := clusteredTable(rng, 300)
+	widths := []float64{1, 1, 0}
+	p := Params{K: 2, Widths: widths}
+	c, err := Cluster(tb, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gz := range []bool{false, true} {
+		data, err := c.Encode(tb, gz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumRows() != tb.NumRows() {
+			t.Fatalf("gz=%v: decompressed %d rows, want %d", gz, back.NumRows(), tb.NumRows())
+		}
+		// Decompressed rows (a multiset) must equal the quantized table's
+		// rows, modulo float32 storage of non-compact numeric cells.
+		want := rowStrings(c.Quantize(tb))
+		got := rowStrings(back)
+		mismatches := 0
+		for i := range want {
+			if want[i] != got[i] {
+				mismatches++
+			}
+		}
+		// Values in these tables are small enough to be exact in float32.
+		if mismatches != 0 {
+			t.Errorf("gz=%v: %d/%d rows differ after round trip", gz, mismatches, len(want))
+		}
+	}
+}
+
+func TestCompressShrinksClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb := clusteredTable(rng, 2000)
+	data, err := Compress(tb, Params{K: 2, Widths: []float64{1, 1, 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := tb.RawSizeBytes(); len(data) >= raw {
+		t.Errorf("fascicle output %d B >= raw %d B on highly clustered data", len(data), raw)
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := clusteredTable(rng, 100)
+	data, err := Compress(tb, Params{K: 2, Widths: []float64{1, 1, 0}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("Decompress accepted empty input")
+	}
+	if _, err := Decompress(data[:len(data)/2]); err == nil {
+		t.Error("Decompress accepted truncated input")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] ^= 0x55
+	if _, err := Decompress(bad); err == nil {
+		t.Error("Decompress accepted corrupted magic")
+	}
+}
+
+func TestMaxFasciclesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tb := clusteredTable(rng, 300)
+	c, err := Cluster(tb, Params{K: 2, MaxFascicles: 1, Widths: []float64{1, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Fascicles) > 1 {
+		t.Errorf("got %d fascicles, cap was 1", len(c.Fascicles))
+	}
+}
+
+func TestMinSizeRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb := clusteredTable(rng, 300)
+	c, err := Cluster(tb, Params{K: 2, MinSize: 50, Widths: []float64{1, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Fascicles {
+		if len(c.Fascicles[i].Rows) < 50 {
+			t.Errorf("fascicle %d has %d rows, MinSize 50", i, len(c.Fascicles[i].Rows))
+		}
+	}
+}
+
+func TestClampWindow(t *testing.T) {
+	// Seed below the split: window clamps from above.
+	lo, hi := clampWindow(5, 3, 9, []float64{7})
+	if lo != 3 || hi != 7 {
+		t.Errorf("clampWindow = [%g,%g], want [3,7]", lo, hi)
+	}
+	// Seed above the split: lo must end up strictly greater than 7.
+	lo, hi = clampWindow(8, 5, 11, []float64{7})
+	if !(lo > 7) || hi != 11 {
+		t.Errorf("clampWindow = [%g,%g], want (7,11]", lo, hi)
+	}
+	// Seed exactly on the split is on the "≤ v" side.
+	lo, hi = clampWindow(7, 5, 9, []float64{7})
+	if lo != 5 || hi != 7 {
+		t.Errorf("clampWindow = [%g,%g], want [5,7]", lo, hi)
+	}
+	// No splits: unchanged.
+	lo, hi = clampWindow(5, 1, 9, nil)
+	if lo != 1 || hi != 9 {
+		t.Errorf("clampWindow = [%g,%g], want [1,9]", lo, hi)
+	}
+}
+
+func TestColIndexRangeQueries(t *testing.T) {
+	tb := paperTable(t)
+	idx := buildIndex(tb)
+	// Salary column: values 15k..110k.
+	if got := idx[1].countRange(50000, 90000); got != 4 { // 50,76,80,90 (k)
+		t.Errorf("countRange = %d, want 4", got)
+	}
+	assigned := make([]bool, tb.NumRows())
+	rows := idx[1].rowsInRange(50000, 90000, assigned, nil)
+	if len(rows) != 4 {
+		t.Errorf("rowsInRange = %v, want 4 rows", rows)
+	}
+	assigned[4] = true // salary 50,000
+	rows = idx[1].rowsInRange(50000, 90000, assigned, nil)
+	if len(rows) != 3 {
+		t.Errorf("rowsInRange with assignment = %v, want 3 rows", rows)
+	}
+	// Categorical buckets.
+	if got := len(idx[3].buckets[tb.Col(3).Codes[0]]); got != 5 { // "good"
+		t.Errorf("bucket size = %d, want 5", got)
+	}
+}
+
+func TestSameSide(t *testing.T) {
+	if !sameSide(1, 2, []float64{5}) {
+		t.Error("1 and 2 are both below 5")
+	}
+	if sameSide(4, 6, []float64{5}) {
+		t.Error("4 and 6 straddle 5")
+	}
+	if !sameSide(4, 6, nil) {
+		t.Error("no splits means always same side")
+	}
+	// Boundary: v <= split is the left side.
+	if sameSide(5, 5.1, []float64{5}) {
+		t.Error("5 (left) and 5.1 (right) straddle the split at 5")
+	}
+}

@@ -1,0 +1,36 @@
+package fascicle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecompress asserts the fascicle decoder never panics on arbitrary
+// input.
+func FuzzDecompress(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	tb := clusteredTable(rng, 100)
+	data, err := Compress(tb, Params{K: 2, Widths: []float64{1, 1, 0}}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gzData, err := Compress(tb, Params{K: 2, Widths: []float64{1, 1, 0}}, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(gzData)
+	f.Add([]byte{})
+	f.Add([]byte(fascicleMagic))
+	f.Add(data[:len(data)/2])
+	mutated := append([]byte(nil), data...)
+	mutated[len(mutated)/2] ^= 0xAA
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Decompress(data)
+		if err == nil && tbl == nil {
+			t.Error("Decompress returned nil table without error")
+		}
+	})
+}

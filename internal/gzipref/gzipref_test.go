@@ -1,0 +1,115 @@
+package gzipref
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func testTable(rng *rand.Rand, n int) *table.Table {
+	schema := table.Schema{
+		{Name: "a", Kind: table.Numeric},
+		{Name: "b", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		b.MustAppendRow(float64(rng.Intn(50)), cats[rng.Intn(3)])
+	}
+	return b.MustBuild()
+}
+
+func TestRoundTripAsMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := testTable(rng, 500)
+	data, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorting the original must reproduce the decompressed table exactly.
+	sorted, err := tb.SelectRows(tb.LexSortedRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(sorted, back) {
+		t.Error("round trip does not match lexicographically sorted original")
+	}
+}
+
+func TestCompressionHelpsOnRepetitiveData(t *testing.T) {
+	// Low-cardinality data compresses far below raw size.
+	rng := rand.New(rand.NewSource(2))
+	tb := testTable(rng, 5000)
+	data, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := tb.RawSizeBytes(); len(data) >= raw/2 {
+		t.Errorf("gzip output %d B, want < half of raw %d B", len(data), raw)
+	}
+}
+
+func TestSortImprovesCompression(t *testing.T) {
+	// The paper's observation: sorting before gzip helps. Compare against
+	// gzipping the unsorted serialization.
+	rng := rand.New(rand.NewSource(3))
+	tb := testTable(rng, 5000)
+	sorted, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsorted := gzipRaw(t, tb)
+	if len(sorted) > unsorted {
+		t.Errorf("sorted gzip %d B worse than unsorted %d B", len(sorted), unsorted)
+	}
+}
+
+func gzipRaw(t *testing.T, tb *table.Table) int {
+	t.Helper()
+	data, err := CompressUnsorted(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(data)
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := Decompress([]byte("not gzip at all")); err == nil {
+		t.Error("Decompress accepted garbage")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("Decompress accepted empty input")
+	}
+	rng := rand.New(rand.NewSource(4))
+	data, err := Compress(testTable(rng, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(data[:len(data)-4]); err == nil {
+		t.Error("Decompress accepted truncated stream")
+	}
+}
+
+func TestLexSortedRowsIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := testTable(rng, 200)
+	idx := tb.LexSortedRows()
+	if len(idx) != tb.NumRows() {
+		t.Fatalf("permutation length %d != %d", len(idx), tb.NumRows())
+	}
+	for i := 1; i < len(idx); i++ {
+		a, b := idx[i-1], idx[i]
+		va, vb := tb.Float(a, 0), tb.Float(b, 0)
+		if va > vb {
+			t.Fatalf("rows %d,%d out of order on first column", a, b)
+		}
+		if va == vb && tb.CatString(a, 1) > tb.CatString(b, 1) {
+			t.Fatalf("rows %d,%d out of order on second column", a, b)
+		}
+	}
+}

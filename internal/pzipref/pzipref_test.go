@@ -1,0 +1,154 @@
+package pzipref
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gzipref"
+	"repro/internal/table"
+)
+
+func testTable(rng *rand.Rand, n int) *table.Table {
+	// Columns 0 and 1 are strongly correlated (good merge candidates);
+	// column 2 is independent noise, column 3 categorical.
+	schema := table.Schema{
+		{Name: "a", Kind: table.Numeric},
+		{Name: "b", Kind: table.Numeric},
+		{Name: "noise", Kind: table.Numeric},
+		{Name: "c", Kind: table.Categorical},
+	}
+	b := table.MustBuilder(schema)
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		v := float64(rng.Intn(40))
+		b.MustAppendRow(v, v+1, float64(rng.Intn(10000)), cats[rng.Intn(3)])
+	}
+	return b.MustBuild()
+}
+
+func TestRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := testTable(rng, 800)
+	data, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(tb, back) {
+		t.Error("pzip round trip changed the table")
+	}
+}
+
+func TestRoundTripOnDatasets(t *testing.T) {
+	for name, tb := range map[string]*table.Table{
+		"census": datagen.Census(500, 2),
+		"cdr":    datagen.CDR(500, 2),
+	} {
+		data, err := Compress(tb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Decompress(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !table.Equal(tb, back) {
+			t.Errorf("%s: round trip changed the table", name)
+		}
+	}
+}
+
+func TestGroupingMergesCorrelatedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb := testTable(rng, 1500)
+	groups := planGroups(tb)
+	// Columns 0 and 1 (b = a+1) must land in the same group.
+	var groupOfA, groupOfB int = -1, -1
+	for gi, g := range groups {
+		for _, c := range g {
+			if c == 0 {
+				groupOfA = gi
+			}
+			if c == 1 {
+				groupOfB = gi
+			}
+		}
+	}
+	if groupOfA != groupOfB {
+		t.Errorf("correlated columns split across groups %d and %d: %v",
+			groupOfA, groupOfB, groups)
+	}
+	// Every column appears exactly once.
+	seen := map[int]int{}
+	for _, g := range groups {
+		for _, c := range g {
+			seen[c]++
+		}
+	}
+	for c := 0; c < tb.NumCols(); c++ {
+		if seen[c] != 1 {
+			t.Errorf("column %d appears %d times in grouping", c, seen[c])
+		}
+	}
+}
+
+func TestBeatsPlainGzipOnGroupableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tb := testTable(rng, 4000)
+	pz, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against unsorted row-wise gzip (grouping is pzip's edge;
+	// gzipref's lexicographic sort is a different lever).
+	gz, err := gzipref.CompressUnsorted(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pz) > len(gz)*11/10 {
+		t.Errorf("pzip %d B much worse than plain gzip %d B", len(pz), len(gz))
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := testTable(rng, 100)
+	data, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("Decompress accepted empty input")
+	}
+	if _, err := Decompress(data[:len(data)/3]); err == nil {
+		t.Error("Decompress accepted truncated input")
+	}
+	bad := append([]byte(nil), data...)
+	bad[1] ^= 0xFF
+	if _, err := Decompress(bad); err == nil {
+		t.Error("Decompress accepted corrupted magic")
+	}
+}
+
+func TestSingleColumnTable(t *testing.T) {
+	b := table.MustBuilder(table.Schema{{Name: "only", Kind: table.Numeric}})
+	for i := 0; i < 50; i++ {
+		b.MustAppendRow(float64(i % 5))
+	}
+	tb := b.MustBuild()
+	data, err := Compress(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.Equal(tb, back) {
+		t.Error("single-column round trip failed")
+	}
+}

@@ -1,0 +1,281 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/table"
+)
+
+// ParsePredicate parses a filter expression against the given schema and
+// returns the bound predicate. Grammar:
+//
+//	expr  := and ('||' and)*
+//	and   := unary ('&&' unary)*
+//	unary := '!' unary | '(' expr ')' | cmp
+//	cmp   := IDENT op value | IDENT 'in' '(' value (',' value)* ')'
+//	op    := '==' '!=' '<' '<=' '>' '>='
+//
+// Values compare numerically against numeric attributes and as strings
+// (optionally single-quoted) against categorical attributes; categorical
+// attributes admit only ==, != and in. An empty expression yields a nil
+// predicate (match all).
+func ParsePredicate(expr string, schema table.Schema) (Predicate, error) {
+	if strings.TrimSpace(expr) == "" {
+		return nil, nil
+	}
+	p := &parser{schema: schema}
+	if err := p.tokenize(expr); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.tokens) {
+		return nil, fmt.Errorf("query: unexpected %q", p.tokens[p.pos].text)
+	}
+	return pred, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokOp            // == != < <= > >= && || ! ( ) ,
+	tokValue         // number or quoted string
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type parser struct {
+	schema table.Schema
+	tokens []token
+	pos    int
+}
+
+func (p *parser) tokenize(s string) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '\'':
+			j := strings.IndexByte(s[i+1:], '\'')
+			if j < 0 {
+				return fmt.Errorf("query: unterminated string at %q", s[i:])
+			}
+			p.tokens = append(p.tokens, token{tokValue, s[i+1 : i+1+j]})
+			i += j + 2
+		case strings.ContainsRune("()!,", rune(c)):
+			if c == '!' && i+1 < len(s) && s[i+1] == '=' {
+				p.tokens = append(p.tokens, token{tokOp, "!="})
+				i += 2
+				break
+			}
+			p.tokens = append(p.tokens, token{tokOp, string(c)})
+			i++
+		case c == '&' || c == '|':
+			if i+1 >= len(s) || s[i+1] != c {
+				return fmt.Errorf("query: stray %q (use %s%s)", c, string(c), string(c))
+			}
+			p.tokens = append(p.tokens, token{tokOp, s[i : i+2]})
+			i += 2
+		case c == '=' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(s) && s[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "=" {
+				op = "==" // tolerate single '='
+			}
+			p.tokens = append(p.tokens, token{tokOp, op})
+			i++
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) &&
+				!strings.ContainsRune("()!,&|=<>'", rune(s[j])) {
+				j++
+			}
+			if j == i {
+				return fmt.Errorf("query: unexpected character %q", c)
+			}
+			word := s[i:j]
+			if _, err := strconv.ParseFloat(word, 64); err == nil {
+				p.tokens = append(p.tokens, token{tokValue, word})
+			} else {
+				p.tokens = append(p.tokens, token{tokIdent, word})
+			}
+			i = j
+		}
+	}
+	return nil
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.tokens) {
+		return token{}, false
+	}
+	return p.tokens[p.pos], true
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t, ok := p.peek()
+	if ok && t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Predicate{left}
+	for p.accept(tokOp, "||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return Or(terms...), nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Predicate{left}
+	for p.accept(tokOp, "&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return And(terms...), nil
+}
+
+func (p *parser) parseUnary() (Predicate, error) {
+	if p.accept(tokOp, "!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	}
+	if p.accept(tokOp, "(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokOp, ")") {
+			return nil, fmt.Errorf("query: missing ')'")
+		}
+		return inner, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Predicate, error) {
+	t, ok := p.peek()
+	if !ok || t.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected column name, got %q", t.text)
+	}
+	p.pos++
+	col := t.text
+	idx := p.schema.Index(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("query: unknown column %q", col)
+	}
+	kind := p.schema[idx].Kind
+
+	// IN list.
+	if it, ok := p.peek(); ok && it.kind == tokIdent && strings.EqualFold(it.text, "in") {
+		p.pos++
+		if kind != table.Categorical {
+			return nil, fmt.Errorf("query: 'in' applies to categorical columns, %q is numeric", col)
+		}
+		if !p.accept(tokOp, "(") {
+			return nil, fmt.Errorf("query: expected '(' after in")
+		}
+		var values []string
+		for {
+			v, ok := p.peek()
+			if !ok || (v.kind != tokValue && v.kind != tokIdent) {
+				return nil, fmt.Errorf("query: expected value in 'in' list")
+			}
+			p.pos++
+			values = append(values, v.text)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if !p.accept(tokOp, ")") {
+			return nil, fmt.Errorf("query: missing ')' in 'in' list")
+		}
+		return CatIn(col, values...), nil
+	}
+
+	opTok, ok := p.peek()
+	if !ok || opTok.kind != tokOp {
+		return nil, fmt.Errorf("query: expected operator after %q", col)
+	}
+	p.pos++
+	val, ok := p.peek()
+	if !ok || (val.kind != tokValue && val.kind != tokIdent) {
+		return nil, fmt.Errorf("query: expected value after %q %s", col, opTok.text)
+	}
+	p.pos++
+
+	if kind == table.Categorical {
+		switch opTok.text {
+		case "==":
+			return CatEq(col, val.text), nil
+		case "!=":
+			return Not(CatEq(col, val.text)), nil
+		default:
+			return nil, fmt.Errorf("query: operator %s not defined for categorical column %q", opTok.text, col)
+		}
+	}
+	f, err := strconv.ParseFloat(val.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("query: column %q is numeric, %q is not a number", col, val.text)
+	}
+	var op CmpOp
+	switch opTok.text {
+	case "<":
+		op = Lt
+	case "<=":
+		op = Le
+	case ">":
+		op = Gt
+	case ">=":
+		op = Ge
+	case "==":
+		op = Eq
+	case "!=":
+		op = Ne
+	default:
+		return nil, fmt.Errorf("query: unknown operator %q", opTok.text)
+	}
+	return NumCmp(col, op, f), nil
+}

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+func parseSchema() table.Schema {
+	return table.Schema{
+		{Name: "x", Kind: table.Numeric},
+		{Name: "y", Kind: table.Numeric},
+		{Name: "g", Kind: table.Categorical},
+	}
+}
+
+// run a parsed predicate against the exactTable rows and count matches.
+func countMatches(t *testing.T, expr string) int {
+	t.Helper()
+	tb := exactTable(t)
+	p, err := ParsePredicate(expr, tb.Schema())
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	res, err := Run(tb, nil, Query{Agg: Count, Where: p})
+	if err != nil {
+		t.Fatalf("run %q: %v", expr, err)
+	}
+	return int(res.Groups[0].Value)
+}
+
+func TestParseNumericComparisons(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"x > 3", 2},
+		{"x >= 3", 3},
+		{"x < 2", 1},
+		{"x <= 2", 2},
+		{"x == 3", 1},
+		{"x != 3", 4},
+		{"y > 15 && y < 45", 3},
+		{"x < 2 || x > 4", 2},
+		{"!(x >= 2)", 1},
+		{"(x > 1) && (g == 'b' || y <= 20)", 4},
+		{"g == 'a'", 2},
+		{"g != 'a'", 3},
+		{"g in ('a', 'b')", 5},
+		{"g in ('a')", 2},
+		{"x = 3", 1}, // single '=' tolerated
+	}
+	for _, c := range cases {
+		if got := countMatches(t, c.expr); got != c.want {
+			t.Errorf("%q matched %d rows, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestParseEmptyMatchesAll(t *testing.T) {
+	p, err := ParsePredicate("   ", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Error("empty expression should yield nil predicate")
+	}
+}
+
+func TestParseBareWordAsCategoricalValue(t *testing.T) {
+	// Unquoted values bind as strings for categorical columns.
+	if got := countMatches(t, "g == b"); got != 3 {
+		t.Errorf("g == b matched %d, want 3", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	schema := parseSchema()
+	cases := []string{
+		"z > 1",              // unknown column
+		"x >",                // missing value
+		"> 1",                // missing column
+		"g > 'a'",            // ordered op on categorical
+		"x in (1, 2)",        // in on numeric
+		"x == 'abc'",         // non-numeric value for numeric column
+		"(x > 1",             // missing paren
+		"x > 1 && ",          // dangling connective
+		"x > 1 & y < 2",      // single &
+		"g == 'unterminated", // unterminated string
+		"x > 1 extra",        // trailing tokens
+		"g in 'a'",           // in without parens
+		"g in ()",            // empty in list
+		"x ~ 3",              // unknown char
+	}
+	for _, expr := range cases {
+		if _, err := ParsePredicate(expr, schema); err == nil {
+			t.Errorf("ParsePredicate(%q) accepted invalid input", expr)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// && binds tighter than ||: a || b && c == a || (b && c).
+	tb := exactTable(t)
+	p, err := ParsePredicate("x == 1 || x >= 4 && g == 'b'", tb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tb, nil, Query{Agg: Count, Where: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x==1 -> {1}; x>=4 && g=b -> {4,5}. Total 3.
+	if res.Groups[0].Value != 3 {
+		t.Errorf("precedence: matched %g rows, want 3", res.Groups[0].Value)
+	}
+}

@@ -1,0 +1,666 @@
+// Package query answers aggregate queries over SPARTAN-decompressed
+// tables with guaranteed error intervals — the paper's motivating use
+// case (§1): analysts accept approximate answers as long as the system
+// bounds the approximation error.
+//
+// Every value in a decompressed table deviates from the original by at
+// most its attribute tolerance (numeric) or differs in at most a
+// tolerance fraction of rows (categorical). The engine propagates those
+// bounds through filtering and aggregation:
+//
+//   - numeric predicates evaluate to three-valued logic: a row whose
+//     reconstructed value is farther than the tolerance from the
+//     threshold matches (or not) definitely; otherwise it is uncertain;
+//   - categorical predicates are exact per row, but each referenced
+//     categorical attribute with tolerance e contributes a global "flip
+//     budget" of ⌊e·N⌋ rows whose membership may be wrong;
+//   - aggregates return a point estimate plus a closed interval [Lo, Hi]
+//     that is guaranteed to contain the value the query would produce on
+//     the original table.
+//
+// Intervals are sound but not always tight (interval arithmetic treats
+// SUM and COUNT as independent when dividing for AVG).
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// tri is three-valued predicate logic.
+type tri int8
+
+const (
+	no tri = iota
+	maybe
+	yes
+)
+
+func triAnd(a, b tri) tri {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func triOr(a, b tri) tri {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func triNot(a tri) tri {
+	switch a {
+	case yes:
+		return no
+	case no:
+		return yes
+	default:
+		return maybe
+	}
+}
+
+// CmpOp is a numeric comparison operator.
+type CmpOp int
+
+const (
+	// Lt is <, Le is <=, Gt is >, Ge is >=, Eq is ==, Ne is !=.
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Predicate filters rows under three-valued logic.
+type Predicate interface {
+	eval(ctx *evalCtx, row int) tri
+	// columns reports the referenced attribute names (for flip budgets
+	// and validation).
+	columns() []string
+}
+
+type evalCtx struct {
+	t    *table.Table
+	tol  map[string]float64 // resolved tolerance per attribute name
+	cols map[string]int     // name -> column index
+}
+
+// NumCmp compares a numeric attribute against a constant.
+func NumCmp(column string, op CmpOp, value float64) Predicate {
+	return &numCmp{column: column, op: op, value: value}
+}
+
+type numCmp struct {
+	column string
+	op     CmpOp
+	value  float64
+}
+
+func (p *numCmp) columns() []string { return []string{p.column} }
+
+func (p *numCmp) eval(ctx *evalCtx, row int) tri {
+	ci := ctx.cols[p.column]
+	x := ctx.t.Float(row, ci)
+	e := ctx.tol[p.column]
+	lo, hi := x-e, x+e // interval certain to contain the original value
+	switch p.op {
+	case Lt:
+		return intervalCmp(hi < p.value, lo >= p.value)
+	case Le:
+		return intervalCmp(hi <= p.value, lo > p.value)
+	case Gt:
+		return intervalCmp(lo > p.value, hi <= p.value)
+	case Ge:
+		return intervalCmp(lo >= p.value, hi < p.value)
+	case Eq:
+		if e == 0 {
+			return intervalCmp(x == p.value, x != p.value)
+		}
+		return intervalCmp(false, lo > p.value || hi < p.value)
+	case Ne:
+		if e == 0 {
+			return intervalCmp(x != p.value, x == p.value)
+		}
+		return intervalCmp(lo > p.value || hi < p.value, false)
+	default:
+		return maybe
+	}
+}
+
+func intervalCmp(definitelyTrue, definitelyFalse bool) tri {
+	switch {
+	case definitelyTrue:
+		return yes
+	case definitelyFalse:
+		return no
+	default:
+		return maybe
+	}
+}
+
+// CatIn tests membership of a categorical attribute in a value set.
+func CatIn(column string, values ...string) Predicate {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[v] = true
+	}
+	return &catIn{column: column, set: set}
+}
+
+// CatEq tests equality of a categorical attribute.
+func CatEq(column, value string) Predicate { return CatIn(column, value) }
+
+type catIn struct {
+	column string
+	set    map[string]bool
+}
+
+func (p *catIn) columns() []string { return []string{p.column} }
+
+func (p *catIn) eval(ctx *evalCtx, row int) tri {
+	ci := ctx.cols[p.column]
+	if p.set[ctx.t.CatString(row, ci)] {
+		return yes
+	}
+	return no
+}
+
+// And conjoins predicates.
+func And(ps ...Predicate) Predicate { return &logical{ps: ps, or: false} }
+
+// Or disjoins predicates.
+func Or(ps ...Predicate) Predicate { return &logical{ps: ps, or: true} }
+
+type logical struct {
+	ps []Predicate
+	or bool
+}
+
+func (p *logical) columns() []string {
+	var out []string
+	for _, q := range p.ps {
+		out = append(out, q.columns()...)
+	}
+	return out
+}
+
+func (p *logical) eval(ctx *evalCtx, row int) tri {
+	if len(p.ps) == 0 {
+		if p.or {
+			return no
+		}
+		return yes
+	}
+	acc := p.ps[0].eval(ctx, row)
+	for _, q := range p.ps[1:] {
+		if p.or {
+			acc = triOr(acc, q.eval(ctx, row))
+			if acc == yes {
+				return yes
+			}
+		} else {
+			acc = triAnd(acc, q.eval(ctx, row))
+			if acc == no {
+				return no
+			}
+		}
+	}
+	return acc
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate { return &negation{p} }
+
+type negation struct{ p Predicate }
+
+func (n *negation) columns() []string          { return n.p.columns() }
+func (n *negation) eval(c *evalCtx, r int) tri { return triNot(n.p.eval(c, r)) }
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+const (
+	// Count counts matching rows; Sum/Avg/Min/Max aggregate a numeric
+	// column over them.
+	Count AggKind = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String names the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+}
+
+// Query is one aggregate query: Agg(Column) WHERE Where GROUP BY GroupBy.
+type Query struct {
+	Agg    AggKind
+	Column string // aggregated numeric column; empty for Count
+	Where  Predicate
+	// GroupBy optionally names a categorical column; results carry one
+	// group per observed value.
+	GroupBy string
+}
+
+// Group is the result for one group (or the single implicit group).
+type Group struct {
+	Key string // group-by value; "" without GROUP BY
+
+	// Value is the point estimate computed from the reconstructed data.
+	Value float64
+	// Lo and Hi bound the value the same query would produce on the
+	// original table.
+	Lo, Hi float64
+
+	// Rows counts definite matches; UncertainRows counts rows whose
+	// membership depends on within-tolerance perturbations (including the
+	// categorical flip budget).
+	Rows          int
+	UncertainRows int
+}
+
+// Result is the full answer.
+type Result struct {
+	Groups []Group
+}
+
+// Run executes the query against a (typically decompressed) table with
+// the tolerance vector it was compressed under. A nil Where matches all
+// rows. Tolerances in quantile form are resolved against t.
+func Run(t *table.Table, tol table.Tolerances, q Query) (*Result, error) {
+	if tol == nil {
+		tol = table.ZeroTolerances(t)
+	}
+	resolved, err := tol.Resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &evalCtx{
+		t:    t,
+		tol:  map[string]float64{},
+		cols: map[string]int{},
+	}
+	for i := 0; i < t.NumCols(); i++ {
+		name := t.Attr(i).Name
+		ctx.cols[name] = i
+		ctx.tol[name] = resolved[i].Value
+	}
+	if err := validate(ctx, q); err != nil {
+		return nil, err
+	}
+
+	// Categorical flip budget from predicate and group-by columns.
+	flips := flipBudget(ctx, q)
+
+	// Partition rows by group and match state.
+	type bucket struct {
+		key      string
+		def, unc []int
+	}
+	buckets := map[string]*bucket{}
+	order := []string{}
+	groupCol := -1
+	if q.GroupBy != "" {
+		groupCol = ctx.cols[q.GroupBy]
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		m := yes
+		if q.Where != nil {
+			m = q.Where.eval(ctx, r)
+		}
+		if m == no {
+			continue
+		}
+		key := ""
+		if groupCol >= 0 {
+			key = t.CatString(r, groupCol)
+		}
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{key: key}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		if m == yes {
+			b.def = append(b.def, r)
+		} else {
+			b.unc = append(b.unc, r)
+		}
+	}
+	sort.Strings(order)
+
+	res := &Result{}
+	for _, key := range order {
+		b := buckets[key]
+		g, err := aggregate(ctx, q, b.key, b.def, b.unc, flips)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	if len(res.Groups) == 0 && q.GroupBy == "" {
+		// An empty selection still yields one (empty) group.
+		g, err := aggregate(ctx, q, "", nil, nil, flips)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	return res, nil
+}
+
+func validate(ctx *evalCtx, q Query) error {
+	check := func(name string) error {
+		if _, ok := ctx.cols[name]; !ok {
+			return fmt.Errorf("query: unknown column %q", name)
+		}
+		return nil
+	}
+	if q.Agg != Count {
+		if q.Column == "" {
+			return fmt.Errorf("query: %v requires a column", q.Agg)
+		}
+		if err := check(q.Column); err != nil {
+			return err
+		}
+		if ctx.t.Attr(ctx.cols[q.Column]).Kind != table.Numeric {
+			return fmt.Errorf("query: %v needs a numeric column, %q is categorical", q.Agg, q.Column)
+		}
+	}
+	if q.GroupBy != "" {
+		if err := check(q.GroupBy); err != nil {
+			return err
+		}
+		if ctx.t.Attr(ctx.cols[q.GroupBy]).Kind != table.Categorical {
+			return fmt.Errorf("query: GROUP BY needs a categorical column, %q is numeric", q.GroupBy)
+		}
+	}
+	if q.Where != nil {
+		for _, name := range q.Where.columns() {
+			if err := check(name); err != nil {
+				return err
+			}
+			ci := ctx.cols[name]
+			// numCmp on categorical or CatIn on numeric are type errors.
+			// The predicate types enforce usage implicitly: NumCmp reads
+			// Float, CatIn reads CatString; verify kinds up front for
+			// clean errors instead of panics.
+			_ = ci
+		}
+		if err := checkPredicateKinds(ctx, q.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPredicateKinds(ctx *evalCtx, p Predicate) error {
+	switch v := p.(type) {
+	case *numCmp:
+		if ctx.t.Attr(ctx.cols[v.column]).Kind != table.Numeric {
+			return fmt.Errorf("query: numeric comparison on categorical column %q", v.column)
+		}
+	case *catIn:
+		if ctx.t.Attr(ctx.cols[v.column]).Kind != table.Categorical {
+			return fmt.Errorf("query: categorical predicate on numeric column %q", v.column)
+		}
+	case *logical:
+		for _, q := range v.ps {
+			if err := checkPredicateKinds(ctx, q); err != nil {
+				return err
+			}
+		}
+	case *negation:
+		return checkPredicateKinds(ctx, v.p)
+	}
+	return nil
+}
+
+// flipBudget sums ⌊e·N⌋ over the categorical attributes the query's
+// membership decisions depend on: each such attribute may be wrong in up
+// to that many rows, each of which could enter or leave the selection (or
+// switch groups).
+func flipBudget(ctx *evalCtx, q Query) int {
+	seen := map[string]bool{}
+	total := 0
+	addCol := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		ci := ctx.cols[name]
+		if ctx.t.Attr(ci).Kind == table.Categorical {
+			total += int(ctx.tol[name] * float64(ctx.t.NumRows()))
+		}
+	}
+	if q.Where != nil {
+		for _, name := range q.Where.columns() {
+			addCol(name)
+		}
+	}
+	if q.GroupBy != "" {
+		addCol(q.GroupBy)
+	}
+	return total
+}
+
+// aggregate computes the point estimate and the sound interval for one
+// group.
+func aggregate(ctx *evalCtx, q Query, key string, def, unc []int, flips int) (Group, error) {
+	g := Group{Key: key, Rows: len(def), UncertainRows: len(unc) + flips}
+	switch q.Agg {
+	case Count:
+		g.Value = float64(len(def))
+		g.Lo = math.Max(0, float64(len(def)-flips))
+		g.Hi = float64(len(def) + len(unc) + flips)
+	case Sum:
+		sumInterval(ctx, q.Column, def, unc, flips, &g)
+	case Avg:
+		var s Group
+		sumInterval(ctx, q.Column, def, unc, flips, &s)
+		cntLo := math.Max(0, float64(len(def)-flips))
+		cntHi := float64(len(def) + len(unc) + flips)
+		if len(def) == 0 {
+			g.Value = math.NaN()
+		} else {
+			g.Value = s.Value / float64(len(def))
+		}
+		g.Lo, g.Hi = divideInterval(s.Lo, s.Hi, cntLo, cntHi)
+	case Min:
+		extremeInterval(ctx, q.Column, def, unc, flips, true, &g)
+	case Max:
+		extremeInterval(ctx, q.Column, def, unc, flips, false, &g)
+	default:
+		return g, fmt.Errorf("query: unknown aggregate %d", q.Agg)
+	}
+	return g, nil
+}
+
+// sumInterval fills g with the SUM estimate and bounds: definite rows
+// contribute their full value interval; uncertain rows contribute only
+// when that widens the bound; flip-budget rows may add or remove the
+// most extreme definite contributions.
+func sumInterval(ctx *evalCtx, column string, def, unc []int, flips int, g *Group) {
+	ci := ctx.cols[column]
+	e := ctx.tol[column]
+	col := ctx.t.Col(ci)
+	sum, lo, hi := 0.0, 0.0, 0.0
+	var defVals []float64
+	for _, r := range def {
+		v := col.Floats[r]
+		sum += v
+		lo += v - e
+		hi += v + e
+		defVals = append(defVals, v)
+	}
+	for _, r := range unc {
+		v := col.Floats[r]
+		lo += math.Min(0, v-e)
+		hi += math.Max(0, v+e)
+	}
+	// Categorical flips: up to `flips` arbitrary rows of the table may
+	// enter, and up to `flips` definite members may leave. Bound with the
+	// table-wide extremes for additions and the most extreme definite
+	// values for removals.
+	if flips > 0 {
+		tLo, tHi := col.MinMax()
+		sort.Float64s(defVals)
+		for i := 0; i < flips; i++ {
+			lo += math.Min(0, tLo-e)
+			hi += math.Max(0, tHi+e)
+			// Removal of the largest/smallest member values.
+			if i < len(defVals) {
+				hiVal := defVals[len(defVals)-1-i]
+				loVal := defVals[i]
+				lo -= math.Max(0, hiVal+e) // removing a large positive shrinks the sum
+				hi -= math.Min(0, loVal-e) // removing a negative grows the sum
+			}
+		}
+	}
+	g.Value = sum
+	g.Lo = lo
+	g.Hi = hi
+}
+
+// divideInterval returns sound bounds for s/c with s ∈ [sLo, sHi] and
+// c ∈ [cLo, cHi], c ≥ 0. A zero possible count yields infinite bounds.
+func divideInterval(sLo, sHi, cLo, cHi float64) (float64, float64) {
+	if cLo <= 0 {
+		if cHi <= 0 {
+			return math.NaN(), math.NaN()
+		}
+		// Count could be arbitrarily small but at least 1 row.
+		cLo = 1
+	}
+	candidates := []float64{sLo / cLo, sLo / cHi, sHi / cLo, sHi / cHi}
+	lo, hi := candidates[0], candidates[0]
+	for _, c := range candidates[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return lo, hi
+}
+
+// extremeInterval fills g for MIN (isMin) or MAX.
+func extremeInterval(ctx *evalCtx, column string, def, unc []int, flips int, isMin bool, g *Group) {
+	ci := ctx.cols[column]
+	e := ctx.tol[column]
+	col := ctx.t.Col(ci)
+	if len(def) == 0 && len(unc) == 0 {
+		g.Value, g.Lo, g.Hi = math.NaN(), math.NaN(), math.NaN()
+		return
+	}
+	best := math.Inf(1)
+	if !isMin {
+		best = math.Inf(-1)
+	}
+	for _, r := range def {
+		v := col.Floats[r]
+		if isMin {
+			best = math.Min(best, v)
+		} else {
+			best = math.Max(best, v)
+		}
+	}
+	g.Value = best
+	if len(def) == 0 {
+		g.Value = math.NaN()
+	}
+	// Bounds: uncertain/flipped rows can push the extreme outward but a
+	// definite extreme limits how far inward it can be.
+	outward := best
+	for _, r := range unc {
+		v := col.Floats[r]
+		if isMin {
+			outward = math.Min(outward, v)
+		} else {
+			outward = math.Max(outward, v)
+		}
+	}
+	if flips > 0 {
+		tLo, tHi := col.MinMax()
+		if isMin {
+			outward = math.Min(outward, tLo)
+		} else {
+			outward = math.Max(outward, tHi)
+		}
+	}
+	if isMin {
+		g.Lo = outward - e
+		g.Hi = best + e
+		if flips > 0 && len(def) > 0 {
+			// The current minimum row might be a flip mistake; the true
+			// minimum could be as high as the (flips+1)-th smallest.
+			vals := sortedColumnValues(col, def)
+			idx := flips
+			if idx >= len(vals) {
+				idx = len(vals) - 1
+			}
+			g.Hi = vals[idx] + e
+		}
+	} else {
+		g.Lo = best - e
+		g.Hi = outward + e
+		if flips > 0 && len(def) > 0 {
+			vals := sortedColumnValues(col, def)
+			idx := len(vals) - 1 - flips
+			if idx < 0 {
+				idx = 0
+			}
+			g.Lo = vals[idx] - e
+		}
+	}
+	if math.IsNaN(g.Value) {
+		g.Lo, g.Hi = math.NaN(), math.NaN()
+	}
+}
+
+func sortedColumnValues(col *table.Column, rows []int) []float64 {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = col.Floats[r]
+	}
+	sort.Float64s(vals)
+	return vals
+}

@@ -1,0 +1,38 @@
+package selector
+
+// Greedy is the paper's low-complexity CaRT-selection algorithm (§3.2):
+// visit the attributes in the topological order of the Bayesian network;
+// roots are materialized; every other attribute gets a CaRT built from the
+// attributes materialized so far, and is predicted when the relative
+// storage benefit MaterCost/PredCost is at least theta. At most n-1 CaRTs
+// are built.
+func Greedy(in Input, theta float64) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	if theta <= 0 {
+		theta = 2 // the paper's experimental setting (§4.1)
+	}
+	predicted := map[int]*estimate{}
+	var materialized []int
+	built := 0
+	for _, xi := range in.Net.TopoOrder() {
+		if len(in.Net.Parents(xi)) == 0 {
+			materialized = append(materialized, xi)
+			continue
+		}
+		est, ok := buildEstimate(in, xi, materialized)
+		built++
+		if !ok || est.cost <= 0 {
+			materialized = append(materialized, xi)
+			continue
+		}
+		if in.materCost(xi)/est.cost >= theta {
+			predicted[xi] = &est
+		} else {
+			materialized = append(materialized, xi)
+		}
+	}
+	res := finishResult(in, predicted, built)
+	return res, res.Validate()
+}

@@ -1,0 +1,227 @@
+// Package server exposes SPARTAN compression, decompression and bounded
+// approximate querying as an HTTP service — the "compression service in
+// front of the warehouse" deployment the paper's introduction sketches
+// (clients on low-bandwidth links download semantically compressed
+// tables).
+//
+// Endpoints:
+//
+//	GET  /healthz                         liveness probe
+//	POST /compress?tolerance=F[&...]      table in (CSV or raw binary) → compressed stream
+//	POST /decompress                      compressed stream → table (CSV or raw binary by Accept)
+//	POST /query?agg=A[&col=C]...          compressed stream → JSON aggregate with bounds
+//
+// Compression statistics are returned in X-Spartan-* response headers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// maxRequestBytes bounds request bodies (tables and compressed streams).
+const maxRequestBytes = 1 << 30
+
+// New returns the service's HTTP handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("POST /compress", handleCompress)
+	mux.HandleFunc("POST /decompress", handleDecompress)
+	mux.HandleFunc("POST /query", handleQuery)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readTableBody parses the request body as CSV (text/csv) or the raw
+// binary table format (anything else).
+func readTableBody(r *http.Request) (*table.Table, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "text/csv" {
+		return table.ReadCSV(body, nil)
+	}
+	return table.ReadBinary(body)
+}
+
+// tolerancesFromQuery builds the tolerance vector from request
+// parameters: tolerance (numeric fraction of range), cat-tolerance
+// (categorical probability).
+func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, error) {
+	parse := func(name string) (float64, error) {
+		s := r.URL.Query().Get(name)
+		if s == "" {
+			return 0, nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s: %w", name, err)
+		}
+		return v, nil
+	}
+	numeric, err := parse("tolerance")
+	if err != nil {
+		return nil, err
+	}
+	cat, err := parse("cat-tolerance")
+	if err != nil {
+		return nil, err
+	}
+	return table.UniformTolerances(t, numeric, cat), nil
+}
+
+func handleCompress(w http.ResponseWriter, r *http.Request) {
+	t, err := readTableBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tol, err := tolerancesFromQuery(r, t)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{Tolerances: tol}
+	switch sel := r.URL.Query().Get("selection"); sel {
+	case "", "wmis-parents":
+	case "wmis-markov":
+		opts.Selection = core.SelectWMISMarkov
+	case "greedy":
+		opts.Selection = core.SelectGreedy
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown selection %q", sel))
+		return
+	}
+	// Compress into memory first so errors can still become proper HTTP
+	// statuses and stats can travel as headers.
+	var buf writeCounter
+	stats, err := core.Compress(&buf, t, opts)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/x-spartan")
+	h.Set("X-Spartan-Raw-Bytes", strconv.Itoa(stats.RawBytes))
+	h.Set("X-Spartan-Compressed-Bytes", strconv.Itoa(stats.CompressedBytes))
+	h.Set("X-Spartan-Ratio", strconv.FormatFloat(stats.Ratio, 'f', 4, 64))
+	h.Set("X-Spartan-Predicted", strings.Join(stats.Predicted, ","))
+	if _, err := w.Write(buf.data); err != nil {
+		return // client went away
+	}
+}
+
+func handleDecompress(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+	t, err := core.Decompress(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/csv") {
+		w.Header().Set("Content-Type", "text/csv")
+		_ = table.WriteCSV(w, t)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = table.WriteBinary(w, t)
+}
+
+// queryResponse is the JSON shape of /query results.
+type queryResponse struct {
+	Agg    string          `json:"agg"`
+	Column string          `json:"column,omitempty"`
+	Groups []queryGroupDTO `json:"groups"`
+}
+
+type queryGroupDTO struct {
+	Key       string   `json:"key,omitempty"`
+	Value     *float64 `json:"value"` // null when no rows matched
+	Lo        *float64 `json:"lo"`
+	Hi        *float64 `json:"hi"`
+	Rows      int      `json:"rows"`
+	Uncertain int      `json:"uncertain"`
+}
+
+func handleQuery(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+	t, err := core.Decompress(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	var agg query.AggKind
+	switch strings.ToLower(q.Get("agg")) {
+	case "", "count":
+		agg = query.Count
+	case "sum":
+		agg = query.Sum
+	case "avg":
+		agg = query.Avg
+	case "min":
+		agg = query.Min
+	case "max":
+		agg = query.Max
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown agg %q", q.Get("agg")))
+		return
+	}
+	pred, err := query.ParsePredicate(q.Get("where"), t.Schema())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tol, err := tolerancesFromQuery(r, t)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := query.Run(t, tol, query.Query{
+		Agg:     agg,
+		Column:  q.Get("col"),
+		Where:   pred,
+		GroupBy: q.Get("groupby"),
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := queryResponse{Agg: agg.String(), Column: q.Get("col")}
+	for _, g := range res.Groups {
+		dto := queryGroupDTO{Key: g.Key, Rows: g.Rows, Uncertain: g.UncertainRows}
+		if !math.IsNaN(g.Value) {
+			v, lo, hi := g.Value, g.Lo, g.Hi
+			dto.Value, dto.Lo, dto.Hi = &v, &lo, &hi
+		}
+		resp.Groups = append(resp.Groups, dto)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+type writeCounter struct{ data []byte }
+
+func (c *writeCounter) Write(p []byte) (int, error) {
+	c.data = append(c.data, p...)
+	return len(p), nil
+}

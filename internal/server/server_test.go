@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/table"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func tableBody(t *testing.T, tb *table.Table) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := table.WriteBinary(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealth(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	tb := datagen.CDR(1500, 1)
+
+	resp, err := http.Post(srv.URL+"/compress?tolerance=0.01", "application/octet-stream", tableBody(t, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("compress status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Spartan-Ratio") == "" {
+		t.Error("missing ratio header")
+	}
+	compressed, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) >= tb.RawSizeBytes() {
+		t.Errorf("compressed %d B >= raw %d B", len(compressed), tb.RawSizeBytes())
+	}
+
+	resp2, err := http.Post(srv.URL+"/decompress", "application/x-spartan", bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status = %d", resp2.StatusCode)
+	}
+	back, err := table.ReadBinary(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tb.NumRows() || back.NumCols() != tb.NumCols() {
+		t.Errorf("restored shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	diffs, err := table.MaxAbsDiff(tb, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := table.UniformTolerances(tb, 0.01, 0).Resolve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range diffs {
+		if d > tol[i].Value+1e-9 {
+			t.Errorf("attribute %d error %g > %g", i, d, tol[i].Value)
+		}
+	}
+}
+
+func TestCompressCSVInput(t *testing.T) {
+	srv := testServer(t)
+	csv := "x,y\n1,a\n2,b\n3,a\n"
+	resp, err := http.Post(srv.URL+"/compress", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	// Decompress back as CSV.
+	compressed, _ := io.ReadAll(resp.Body)
+	req, err := http.NewRequest("POST", srv.URL+"/decompress", bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/csv")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	out, _ := io.ReadAll(resp2.Body)
+	if string(out) != csv {
+		t.Errorf("CSV round trip:\n%s\nwant:\n%s", out, csv)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	tb := datagen.CDR(2000, 2)
+	resp, err := http.Post(srv.URL+"/compress?tolerance=0.01", "application/octet-stream", tableBody(t, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	url := srv.URL + "/query?agg=avg&col=charge_cents&groupby=plan&tolerance=0.01&where=" +
+		"duration_sec%20%3E%20100"
+	resp2, err := http.Post(url, "application/x-spartan", bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("query status = %d: %s", resp2.StatusCode, body)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Agg != "AVG" || len(out.Groups) != 3 {
+		t.Errorf("response %+v, want AVG with 3 plan groups", out)
+	}
+	for _, g := range out.Groups {
+		if g.Value == nil || g.Lo == nil || g.Hi == nil {
+			t.Errorf("group %q missing values", g.Key)
+			continue
+		}
+		if *g.Lo > *g.Value || *g.Value > *g.Hi {
+			t.Errorf("group %q: value %g outside [%g, %g]", g.Key, *g.Value, *g.Lo, *g.Hi)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	tb := datagen.CDR(100, 3)
+
+	post := func(url, ct string, body io.Reader) int {
+		resp, err := http.Post(url, ct, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post(srv.URL+"/compress", "application/octet-stream", strings.NewReader("garbage")); code != http.StatusBadRequest {
+		t.Errorf("garbage table: status %d", code)
+	}
+	if code := post(srv.URL+"/compress?tolerance=abc", "application/octet-stream", tableBody(t, tb)); code != http.StatusBadRequest {
+		t.Errorf("bad tolerance: status %d", code)
+	}
+	if code := post(srv.URL+"/compress?selection=nope", "application/octet-stream", tableBody(t, tb)); code != http.StatusBadRequest {
+		t.Errorf("bad selection: status %d", code)
+	}
+	if code := post(srv.URL+"/decompress", "application/x-spartan", strings.NewReader("garbage")); code != http.StatusBadRequest {
+		t.Errorf("garbage stream: status %d", code)
+	}
+	if code := post(srv.URL+"/query?agg=frobnicate", "application/x-spartan", strings.NewReader("garbage")); code != http.StatusBadRequest {
+		t.Errorf("garbage query: status %d", code)
+	}
+
+	// Valid stream, invalid query column.
+	var buf bytes.Buffer
+	if err := table.WriteBinary(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/compress", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if code := post(srv.URL+"/query?agg=sum&col=missing", "application/x-spartan", bytes.NewReader(compressed)); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown column: status %d", code)
+	}
+	// GET on a POST route.
+	respGet, err := http.Get(srv.URL + "/compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respGet.Body.Close()
+	if respGet.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compress: status %d", respGet.StatusCode)
+	}
+}

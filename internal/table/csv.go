@@ -1,0 +1,116 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a table from CSV with a header row. If schema is nil, it is
+// inferred: a column whose every value parses as a float is Numeric,
+// otherwise Categorical. If schema is non-nil its attribute names must match
+// the header.
+func ReadCSV(r io.Reader, schema Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	records := make([][]string, 0, 1024)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV: %w", err)
+		}
+		records = append(records, rec)
+	}
+	if schema == nil {
+		schema = inferSchema(header, records)
+	} else {
+		if len(schema) != len(header) {
+			return nil, fmt.Errorf("table: schema has %d attributes, CSV header has %d", len(schema), len(header))
+		}
+		for i, a := range schema {
+			if a.Name != header[i] {
+				return nil, fmt.Errorf("table: schema attribute %d is %q, CSV header says %q", i, a.Name, header[i])
+			}
+		}
+	}
+	b, err := NewBuilder(schema)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]any, len(schema))
+	for ri, rec := range records {
+		if len(rec) != len(schema) {
+			return nil, fmt.Errorf("table: CSV row %d has %d fields, want %d", ri+1, len(rec), len(schema))
+		}
+		for ci, field := range rec {
+			if schema[ci].Kind == Numeric {
+				f, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: CSV row %d column %q: %w", ri+1, schema[ci].Name, err)
+				}
+				row[ci] = f
+			} else {
+				row[ci] = field
+			}
+		}
+		if err := b.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func inferSchema(header []string, records [][]string) Schema {
+	schema := make(Schema, len(header))
+	for ci, name := range header {
+		kind := Numeric
+		seen := false
+		for _, rec := range records {
+			if ci >= len(rec) {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(rec[ci], 64); err != nil {
+				kind = Categorical
+				break
+			}
+		}
+		if !seen {
+			kind = Categorical
+		}
+		schema[ci] = Attribute{Name: name, Kind: kind}
+	}
+	return schema
+}
+
+// WriteCSV writes the table as CSV with a header row. Numeric values use
+// the shortest representation that round-trips (strconv 'g', precision -1).
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("table: writing CSV header: %w", err)
+	}
+	rec := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			if t.Attr(c).Kind == Numeric {
+				rec[c] = strconv.FormatFloat(t.Float(r, c), 'g', -1, 64)
+			} else {
+				rec[c] = t.CatString(r, c)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sample returns a uniform random sample of n rows (without replacement)
+// using the given source of randomness. If n >= NumRows the whole table is
+// returned (shared columns, no copy). The returned row indices are in
+// increasing table order so samples preserve any on-disk ordering.
+func (t *Table) Sample(n int, rng *rand.Rand) *Table {
+	if n >= t.rows {
+		return t
+	}
+	if n <= 0 {
+		empty, err := t.SelectRows(nil)
+		if err != nil {
+			panic("table: empty sample failed: " + err.Error())
+		}
+		return empty
+	}
+	idx := reservoir(t.rows, n, rng)
+	out, err := t.SelectRows(idx)
+	if err != nil {
+		panic("table: sample selection failed: " + err.Error())
+	}
+	return out
+}
+
+// SampleBytes returns a sample sized so its raw (uncompressed) binary
+// footprint is approximately maxBytes, mirroring the paper's "50KB sample"
+// parameterization. At least one row is always included for non-empty
+// tables.
+func (t *Table) SampleBytes(maxBytes int, rng *rand.Rand) *Table {
+	if t.rows == 0 {
+		return t
+	}
+	perRow := t.RawBytesPerRow()
+	if perRow <= 0 {
+		perRow = 1
+	}
+	n := maxBytes / perRow
+	if n < 1 {
+		n = 1
+	}
+	return t.Sample(n, rng)
+}
+
+// reservoir draws k distinct indices from [0, n) and returns them sorted.
+func reservoir(n, k int, rng *rand.Rand) []int {
+	res := make([]int, k)
+	for i := 0; i < k; i++ {
+		res[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			res[j] = i
+		}
+	}
+	// Insertion of later indices scrambles order; restore increasing order.
+	sort.Ints(res)
+	return res
+}

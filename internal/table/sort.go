@@ -1,0 +1,32 @@
+package table
+
+import "sort"
+
+// LexSortedRows returns a permutation of row indices that orders the rows
+// lexicographically by column (numeric columns by value, categorical by
+// string value). The paper's gzip baseline sorts tables this way before
+// compressing (§4.1), which substantially improves Lempel-Ziv matching.
+func (t *Table) LexSortedRows() []int {
+	idx := make([]int, t.rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := idx[a], idx[b]
+		for _, c := range t.cols {
+			if c.Kind == Numeric {
+				va, vb := c.Floats[ra], c.Floats[rb]
+				if va != vb {
+					return va < vb
+				}
+				continue
+			}
+			va, vb := c.Dict[c.Codes[ra]], c.Dict[c.Codes[rb]]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	})
+	return idx
+}

@@ -1,0 +1,293 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func creditSchema() Schema {
+	return Schema{
+		{Name: "age", Kind: Numeric},
+		{Name: "salary", Kind: Numeric},
+		{Name: "assets", Kind: Numeric},
+		{Name: "credit", Kind: Categorical},
+	}
+}
+
+// paperTable reproduces the 8-tuple table of Figure 1(a) in the paper.
+func paperTable(t *testing.T) *Table {
+	t.Helper()
+	b := MustBuilder(creditSchema())
+	rows := [][]any{
+		{30.0, 90000.0, 200000.0, "good"},
+		{50.0, 110000.0, 250000.0, "good"},
+		{70.0, 35000.0, 125000.0, "poor"},
+		{75.0, 15000.0, 100000.0, "poor"},
+		{25.0, 50000.0, 75000.0, "good"},
+		{35.0, 76000.0, 75000.0, "good"},
+		{45.0, 100000.0, 175000.0, "poor"},
+		{55.0, 80000.0, 150000.0, "good"},
+	}
+	for _, r := range rows {
+		b.MustAppendRow(r...)
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	tb := paperTable(t)
+	if got, want := tb.NumRows(), 8; got != want {
+		t.Fatalf("NumRows = %d, want %d", got, want)
+	}
+	if got, want := tb.NumCols(), 4; got != want {
+		t.Fatalf("NumCols = %d, want %d", got, want)
+	}
+	if got := tb.Float(0, 1); got != 90000 {
+		t.Errorf("Float(0,1) = %g, want 90000", got)
+	}
+	if got := tb.CatString(2, 3); got != "poor" {
+		t.Errorf("CatString(2,3) = %q, want poor", got)
+	}
+	if got := tb.Col(3).DomainSize(); got != 2 {
+		t.Errorf("credit domain size = %d, want 2", got)
+	}
+}
+
+func TestBuilderRejectsWrongTypes(t *testing.T) {
+	b := MustBuilder(creditSchema())
+	if err := b.AppendRow("x", 1.0, 2.0, "good"); err == nil {
+		t.Error("AppendRow accepted string for numeric attribute")
+	}
+	if err := b.AppendRow(1.0, 2.0, 3.0, 4.0); err == nil {
+		t.Error("AppendRow accepted float for categorical attribute")
+	}
+	if err := b.AppendRow(1.0, 2.0, 3.0); err == nil {
+		t.Error("AppendRow accepted short row")
+	}
+	if err := b.AppendRow(math.NaN(), 2.0, 3.0, "good"); err == nil {
+		t.Error("AppendRow accepted NaN")
+	}
+	if b.NumRows() != 0 {
+		t.Errorf("failed appends left %d rows in builder", b.NumRows())
+	}
+}
+
+func TestBuilderAcceptsIntForNumeric(t *testing.T) {
+	b := MustBuilder(Schema{{Name: "x", Kind: Numeric}})
+	if err := b.AppendRow(7); err != nil {
+		t.Fatalf("AppendRow(int) failed: %v", err)
+	}
+	tb := b.MustBuild()
+	if tb.Float(0, 0) != 7 {
+		t.Errorf("Float = %g, want 7", tb.Float(0, 0))
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema Schema
+		ok     bool
+	}{
+		{"empty", Schema{}, false},
+		{"unnamed", Schema{{Name: "", Kind: Numeric}}, false},
+		{"dup", Schema{{Name: "a", Kind: Numeric}, {Name: "a", Kind: Categorical}}, false},
+		{"ok", Schema{{Name: "a", Kind: Numeric}, {Name: "b", Kind: Categorical}}, true},
+	}
+	for _, c := range cases {
+		err := c.schema.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() err = %v, ok = %v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestProjectSharesColumns(t *testing.T) {
+	tb := paperTable(t)
+	p, err := tb.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attr(0).Name != "salary" || p.Attr(1).Name != "age" {
+		t.Fatalf("project schema = %v", p.Schema().Names())
+	}
+	if p.Col(0) != tb.Col(1) {
+		t.Error("Project copied columns; expected sharing")
+	}
+	if _, err := tb.Project([]int{99}); err == nil {
+		t.Error("Project accepted out-of-range index")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	tb := paperTable(t)
+	s, err := tb.SelectRows([]int{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", s.NumRows())
+	}
+	if s.Float(0, 0) != 55 || s.Float(1, 0) != 30 {
+		t.Errorf("selected ages = %g, %g; want 55, 30", s.Float(0, 0), s.Float(1, 0))
+	}
+	if _, err := tb.SelectRows([]int{-1}); err == nil {
+		t.Error("SelectRows accepted negative index")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := paperTable(t)
+	b := a.Clone()
+	if !Equal(a, b) {
+		t.Fatal("clone not Equal to original")
+	}
+	b.Col(0).Floats[3] = 99
+	if Equal(a, b) {
+		t.Fatal("Equal missed a mutated cell")
+	}
+	if a.Col(0).Floats[3] == 99 {
+		t.Fatal("Clone shares column storage")
+	}
+}
+
+func TestEqualIgnoresDictOrder(t *testing.T) {
+	s := Schema{{Name: "c", Kind: Categorical}}
+	b1 := MustBuilder(s)
+	b1.MustAppendRow("x")
+	b1.MustAppendRow("y")
+	t1 := b1.MustBuild()
+	b2 := MustBuilder(s)
+	b2.MustAppendRow("y") // dictionary order y,x
+	b2.MustAppendRow("x")
+	t2raw := b2.MustBuild()
+	t2, err := t2raw.SelectRows([]int{1, 0}) // values x,y again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(t1, t2) {
+		t.Error("Equal is sensitive to dictionary ordering")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := paperTable(t)
+	b := a.Clone()
+	b.Col(1).Floats[0] += 4000
+	b.Col(3).Codes[0] = 1 - b.Col(3).Codes[0]
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[1] != 4000 {
+		t.Errorf("numeric diff = %g, want 4000", d[1])
+	}
+	if math.Abs(d[3]-0.125) > 1e-12 {
+		t.Errorf("categorical diff = %g, want 0.125", d[3])
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	tb := paperTable(t)
+	lo, hi := tb.Col(1).MinMax()
+	if lo != 15000 || hi != 110000 {
+		t.Errorf("salary MinMax = %g, %g; want 15000, 110000", lo, hi)
+	}
+	if r := tb.Col(1).Range(); r != 95000 {
+		t.Errorf("salary Range = %g, want 95000", r)
+	}
+}
+
+func TestSortedDistinctFloats(t *testing.T) {
+	b := MustBuilder(Schema{{Name: "x", Kind: Numeric}})
+	for _, v := range []float64{3, 1, 3, 2, 1} {
+		b.MustAppendRow(v)
+	}
+	tb := b.MustBuild()
+	got := tb.Col(0).SortedDistinctFloats()
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := Schema{{Name: "a", Kind: Numeric}, {Name: "b", Kind: Categorical}}
+	numCol := &Column{Kind: Numeric, Floats: []float64{1, 2}}
+	catCol := &Column{Kind: Categorical, Codes: []int32{0, 1}, Dict: []string{"x", "y"}}
+
+	if _, err := New(s, []*Column{numCol}); err == nil {
+		t.Error("New accepted wrong column count")
+	}
+	if _, err := New(s, []*Column{catCol, numCol}); err == nil {
+		t.Error("New accepted kind mismatch")
+	}
+	short := &Column{Kind: Categorical, Codes: []int32{0}, Dict: []string{"x"}}
+	if _, err := New(s, []*Column{numCol, short}); err == nil {
+		t.Error("New accepted ragged columns")
+	}
+	bad := &Column{Kind: Categorical, Codes: []int32{0, 5}, Dict: []string{"x", "y"}}
+	if _, err := New(s, []*Column{numCol, bad}); err == nil {
+		t.Error("New accepted out-of-dictionary code")
+	}
+	if _, err := New(s, []*Column{numCol, catCol}); err != nil {
+		t.Errorf("New rejected valid table: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := paperTable(t)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tb, got) {
+		t.Error("CSV round trip changed table")
+	}
+	// With an explicit matching schema.
+	got2, err := ReadCSV(strings.NewReader(sb.String()), tb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tb, got2) {
+		t.Error("CSV round trip with explicit schema changed table")
+	}
+}
+
+func TestCSVSchemaInference(t *testing.T) {
+	in := "num,mixed\n1.5,2\n2,x\n"
+	tb, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Attr(0).Kind != Numeric {
+		t.Error("all-float column inferred categorical")
+	}
+	if tb.Attr(1).Kind != Categorical {
+		t.Error("mixed column inferred numeric")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Error("ReadCSV accepted empty input")
+	}
+	wrong := Schema{{Name: "zzz", Kind: Numeric}}
+	if _, err := ReadCSV(strings.NewReader("a\n1\n"), wrong); err == nil {
+		t.Error("ReadCSV accepted mismatched schema names")
+	}
+	badNum := Schema{{Name: "a", Kind: Numeric}}
+	if _, err := ReadCSV(strings.NewReader("a\nxyz\n"), badNum); err == nil {
+		t.Error("ReadCSV accepted unparsable numeric cell")
+	}
+}

@@ -1,0 +1,380 @@
+// Package wmis solves Weighted Maximum Independent Set instances.
+//
+// SPARTAN's CaRT-selection problem reduces to WMIS on the "predicted-by"
+// benefit graph (Theorem 3.1 of the paper). The paper plugged in the
+// closed-source QUALEX package and notes it "always found the optimal
+// solution" on its instances (whose node count equals the number of table
+// attributes). This package substitutes:
+//
+//   - an exact branch-and-bound solver used automatically for graphs up to
+//     ExactLimit nodes — the regime of every instance SPARTAN generates —
+//     reproducing QUALEX-level optimality; and
+//   - the GWMIN and GWMIN2 greedy heuristics of Sakai, Togasaki and
+//     Yamazaki (with guaranteed degree-bounded approximation factors, the
+//     family of bounds the paper cites via Halldórsson) plus 2-swap local
+//     search, used beyond the exact limit.
+package wmis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected node-weighted graph on nodes 0..n-1. Weights may
+// be negative; negative-weight nodes are never profitable to include and
+// all solvers exclude them up front.
+type Graph struct {
+	weights []float64
+	adj     []map[int]bool
+}
+
+// NewGraph creates a graph with n isolated nodes of weight 0.
+func NewGraph(n int) *Graph {
+	g := &Graph{weights: make([]float64, n), adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.weights) }
+
+// SetWeight assigns the weight of node v.
+func (g *Graph) SetWeight(v int, w float64) { g.weights[v] = w }
+
+// Weight returns the weight of node v.
+func (g *Graph) Weight(v int) float64 { return g.weights[v] }
+
+// AddEdge inserts the undirected edge {u, v}; duplicate insertions are
+// no-ops, self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("wmis: self loop at %d", u)
+	}
+	if u < 0 || u >= len(g.weights) || v < 0 || v >= len(g.weights) {
+		return fmt.Errorf("wmis: edge (%d,%d) out of range", u, v)
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns a sorted copy of v's neighbor set.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsIndependent reports whether the node set is pairwise non-adjacent.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.adj[set[i]][set[j]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetWeightSum returns the total weight of the node set.
+func (g *Graph) SetWeightSum(set []int) float64 {
+	s := 0.0
+	for _, v := range set {
+		s += g.weights[v]
+	}
+	return s
+}
+
+// ExactLimit is the node-count ceiling under which Solve uses the exact
+// branch-and-bound solver. SPARTAN's instances have one node per table
+// attribute, so real workloads (≤ a few hundred attributes would still be
+// fine; the paper's largest has 54) always take the exact path.
+const ExactLimit = 40
+
+// Solve returns a maximum-weight independent set: exact for graphs with at
+// most ExactLimit positive-weight nodes, best-of-heuristics (GWMIN, GWMIN2,
+// each refined by 2-swap local search) otherwise. The returned set is
+// sorted; only strictly-positive-weight nodes appear in it.
+func Solve(g *Graph) []int {
+	positive := 0
+	for _, w := range g.weights {
+		if w > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		return nil
+	}
+	if positive <= ExactLimit {
+		return SolveExact(g)
+	}
+	a := LocalSearch(g, GWMin(g))
+	b := LocalSearch(g, GWMin2(g))
+	if g.SetWeightSum(b) > g.SetWeightSum(a) {
+		a = b
+	}
+	sort.Ints(a)
+	return a
+}
+
+// SolveExact finds a provably maximum-weight independent set by
+// branch-and-bound over the positive-weight nodes. Nodes are explored in
+// descending weight order; the bound is the sum of weights of remaining
+// candidates.
+func SolveExact(g *Graph) []int {
+	var nodes []int
+	for v, w := range g.weights {
+		if w > 0 {
+			nodes = append(nodes, v)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if g.weights[nodes[i]] != g.weights[nodes[j]] {
+			return g.weights[nodes[i]] > g.weights[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	// Suffix sums of weights for the bound.
+	suffix := make([]float64, len(nodes)+1)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + g.weights[nodes[i]]
+	}
+	best := []int{}
+	bestW := 0.0
+	cur := make([]int, 0, len(nodes))
+	blocked := make([]int, g.NumNodes()) // #selected neighbors of each node
+
+	var rec func(i int, curW float64)
+	rec = func(i int, curW float64) {
+		if curW > bestW {
+			bestW = curW
+			best = append(best[:0], cur...)
+		}
+		if i >= len(nodes) || curW+suffix[i] <= bestW {
+			return
+		}
+		v := nodes[i]
+		if blocked[v] == 0 {
+			// Branch 1: include v.
+			cur = append(cur, v)
+			for w := range g.adj[v] {
+				blocked[w]++
+			}
+			rec(i+1, curW+g.weights[v])
+			for w := range g.adj[v] {
+				blocked[w]--
+			}
+			cur = cur[:len(cur)-1]
+		}
+		// Branch 2: exclude v.
+		rec(i+1, curW)
+	}
+	rec(0, 0)
+	sort.Ints(best)
+	return best
+}
+
+// GWMin implements the GWMIN heuristic: repeatedly select the node
+// maximizing weight/(degree+1) in the remaining graph, then delete it and
+// its neighbors. Guarantees a Σ w(v)/(d(v)+1) lower bound.
+func GWMin(g *Graph) []int {
+	return greedy(g, func(w float64, deg int) float64 {
+		return w / float64(deg+1)
+	})
+}
+
+// GWMin2 implements the GWMIN2 heuristic: selection key is
+// weight / (weight + Σ neighbor weights); equivalent behaviour is obtained
+// here by key = w(v) / (w(v) + W_N(v)).
+func GWMin2(g *Graph) []int {
+	alive := make([]bool, g.NumNodes())
+	for v, w := range g.weights {
+		alive[v] = w > 0
+	}
+	var out []int
+	for {
+		bestV, bestKey := -1, math.Inf(-1)
+		for v := range g.weights {
+			if !alive[v] {
+				continue
+			}
+			nw := 0.0
+			for u := range g.adj[v] {
+				if alive[u] {
+					nw += math.Max(g.weights[u], 0)
+				}
+			}
+			key := g.weights[v] / (g.weights[v] + nw)
+			if nw == 0 {
+				key = math.Inf(1) // isolated positive node: always take
+			}
+			if key > bestKey || (key == bestKey && (bestV == -1 || v < bestV)) {
+				bestKey, bestV = key, v
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		out = append(out, bestV)
+		alive[bestV] = false
+		for u := range g.adj[bestV] {
+			alive[u] = false
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func greedy(g *Graph, key func(w float64, deg int) float64) []int {
+	alive := make([]bool, g.NumNodes())
+	for v, w := range g.weights {
+		alive[v] = w > 0
+	}
+	var out []int
+	for {
+		bestV, bestKey := -1, math.Inf(-1)
+		for v := range g.weights {
+			if !alive[v] {
+				continue
+			}
+			deg := 0
+			for u := range g.adj[v] {
+				if alive[u] {
+					deg++
+				}
+			}
+			k := key(g.weights[v], deg)
+			if k > bestKey || (k == bestKey && (bestV == -1 || v < bestV)) {
+				bestKey, bestV = k, v
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		out = append(out, bestV)
+		alive[bestV] = false
+		for u := range g.adj[bestV] {
+			alive[u] = false
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LocalSearch improves an independent set with (1,2)-swaps: repeatedly try
+// removing one member and inserting up to two non-adjacent replacements
+// with higher total weight, until a fixed point. The result remains
+// independent and never gets lighter.
+func LocalSearch(g *Graph, set []int) []int {
+	in := make([]bool, g.NumNodes())
+	for _, v := range set {
+		in[v] = true
+	}
+	cur := append([]int(nil), set...)
+	improved := true
+	for improved {
+		improved = false
+		// Insertion of any free positive node (0-swap).
+		for v, w := range g.weights {
+			if in[v] || w <= 0 {
+				continue
+			}
+			if freeOf(g, in, v, -1) {
+				in[v] = true
+				cur = append(cur, v)
+				improved = true
+			}
+		}
+		// (1,2)-swaps.
+		for _, rem := range append([]int(nil), cur...) {
+			if !in[rem] {
+				continue
+			}
+			in[rem] = false
+			bestGain := 0.0
+			var bestAdd []int
+			// Candidate replacements: restrict to neighbors of rem plus
+			// any currently free node (others were already inserted).
+			cands := candidateList(g, in, rem)
+			for i := 0; i < len(cands); i++ {
+				a := cands[i]
+				ga := g.weights[a] - g.weights[rem]
+				if ga > bestGain {
+					bestGain = ga
+					bestAdd = []int{a}
+				}
+				for j := i + 1; j < len(cands); j++ {
+					b := cands[j]
+					if g.adj[a][b] {
+						continue
+					}
+					gab := g.weights[a] + g.weights[b] - g.weights[rem]
+					if gab > bestGain {
+						bestGain = gab
+						bestAdd = []int{a, b}
+					}
+				}
+			}
+			if bestGain > 1e-12 {
+				cur = removeFrom(cur, rem)
+				for _, a := range bestAdd {
+					in[a] = true
+					cur = append(cur, a)
+				}
+				improved = true
+			} else {
+				in[rem] = true
+			}
+		}
+	}
+	sort.Ints(cur)
+	return cur
+}
+
+// freeOf reports whether v has no selected neighbor (ignoring `ignore`).
+func freeOf(g *Graph, in []bool, v, ignore int) bool {
+	for u := range g.adj[v] {
+		if u != ignore && in[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateList returns positive-weight nodes not in the set that would be
+// free if rem stays removed.
+func candidateList(g *Graph, in []bool, rem int) []int {
+	var out []int
+	for v, w := range g.weights {
+		if w <= 0 || in[v] || v == rem {
+			continue
+		}
+		if freeOf(g, in, v, rem) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func removeFrom(s []int, x int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package spartan
+
+import (
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Approximate querying (paper §1): aggregates over decompressed tables
+// with intervals guaranteed to contain the answer the original table
+// would give. See the query package documentation for the bound
+// semantics; these aliases make the engine reachable from the public API.
+type (
+	// Query is one aggregate query: Agg(Column) WHERE Where GROUP BY
+	// GroupBy.
+	Query = query.Query
+	// QueryResult carries one Group per group-by value.
+	QueryResult = query.Result
+	// QueryGroup is a point estimate plus guaranteed bounds [Lo, Hi].
+	QueryGroup = query.Group
+	// Predicate filters rows under tolerance-aware three-valued logic.
+	Predicate = query.Predicate
+	// AggKind selects the aggregate (Count, Sum, Avg, Min, Max).
+	AggKind = query.AggKind
+	// CmpOp is a numeric comparison operator.
+	CmpOp = query.CmpOp
+)
+
+// Aggregates.
+const (
+	Count = query.Count
+	Sum   = query.Sum
+	Avg   = query.Avg
+	Min   = query.Min
+	Max   = query.Max
+)
+
+// Comparison operators.
+const (
+	Lt = query.Lt
+	Le = query.Le
+	Gt = query.Gt
+	Ge = query.Ge
+	Eq = query.Eq
+	Ne = query.Ne
+)
+
+// NumCmp compares a numeric attribute against a constant.
+func NumCmp(column string, op CmpOp, value float64) Predicate {
+	return query.NumCmp(column, op, value)
+}
+
+// CatEq tests equality of a categorical attribute.
+func CatEq(column, value string) Predicate { return query.CatEq(column, value) }
+
+// CatIn tests membership of a categorical attribute in a value set.
+func CatIn(column string, values ...string) Predicate {
+	return query.CatIn(column, values...)
+}
+
+// QAnd conjoins predicates.
+func QAnd(ps ...Predicate) Predicate { return query.And(ps...) }
+
+// QOr disjoins predicates.
+func QOr(ps ...Predicate) Predicate { return query.Or(ps...) }
+
+// QNot negates a predicate.
+func QNot(p Predicate) Predicate { return query.Not(p) }
+
+// RunQuery executes an aggregate query against a (typically decompressed)
+// table under the tolerance vector it was compressed with. The returned
+// intervals are guaranteed to contain the answers the original table
+// would produce.
+func RunQuery(t *Table, tol Tolerances, q Query) (*QueryResult, error) {
+	return query.Run(t, table.Tolerances(tol), q)
+}
+
+// ParsePredicate parses a filter expression such as
+//
+//	duration > 200 && (plan == 'saver' || charge <= 50)
+//
+// against a schema; see the query package for the grammar. An empty
+// expression yields a nil predicate (match all).
+func ParsePredicate(expr string, schema Schema) (Predicate, error) {
+	return query.ParsePredicate(expr, schema)
+}
