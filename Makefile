@@ -1,0 +1,27 @@
+# Development entry points. `make check` is the tier-1 gate plus vet and
+# the race detector (the obs registry and middleware must stay clean
+# under it).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bin
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+bin:
+	$(GO) build -o bin/ ./cmd/...

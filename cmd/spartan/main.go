@@ -100,6 +100,7 @@ func cmdCompress(args []string) error {
 	in := fs.String("in", "", "input table (.csv or raw binary)")
 	out := fs.String("out", "", "output compressed file")
 	quiet := fs.Bool("q", false, "suppress the statistics report")
+	trace := fs.Bool("trace", false, "print the per-phase pipeline span tree (paper §4.2 running-time breakdown)")
 	blockRows := fs.Int("block-rows", 0, "write a block archive with this many rows per block (0 = single stream)")
 	forceCat := fs.String("categorical", "", "comma-separated CSV columns to force categorical (numeric-looking codes)")
 	tol, catTol, sample, sel, theta, noRowAgg, seed := compressionFlags(fs)
@@ -125,6 +126,11 @@ func cmdCompress(args []string) error {
 		DisableRowAggregation: *noRowAgg,
 		Seed:                  *seed,
 	}
+	var tr *spartan.Trace
+	if *trace {
+		tr = spartan.NewTrace("compress " + *in)
+		opts.Trace = tr
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -135,7 +141,12 @@ func cmdCompress(args []string) error {
 		if err := writeBlocks(f, t, opts, *blockRows); err != nil {
 			return err
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		// Block mode reuses one trace: the tree shows every block's spans.
+		tr.WriteTree(os.Stdout)
+		return nil
 	}
 	stats, err := spartan.Compress(f, t, opts)
 	if err != nil {
@@ -147,6 +158,7 @@ func cmdCompress(args []string) error {
 	if !*quiet {
 		printStats(stats, time.Since(start))
 	}
+	tr.WriteTree(os.Stdout)
 	return nil
 }
 

@@ -35,8 +35,12 @@ func main() {
 	rows := fs.Int("rows", 0, "rows per dataset (0 = per-dataset default)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of aligned text (fig5, fig6a, table1)")
+	trace := fs.Bool("trace", false, "print each SPARTAN run's per-phase span tree (paper §4.2 breakdown)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *trace {
+		experiments.TraceSink = os.Stdout
 	}
 	var err error
 	switch cmd {
@@ -82,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: spartanbench <fig5|fig6a|fig6b|fig6c|table1|lossless|ablate|summary> [-rows N] [-seed S]
+	fmt.Fprint(os.Stderr, `usage: spartanbench <fig5|fig6a|fig6b|fig6c|table1|lossless|ablate|summary> [-rows N] [-seed S] [-trace]
 `)
 }
 

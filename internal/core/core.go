@@ -19,9 +19,27 @@ import (
 	"repro/internal/cart"
 	"repro/internal/codec"
 	"repro/internal/fascicle"
+	"repro/internal/obs"
 	"repro/internal/selector"
 	"repro/internal/table"
 )
+
+// Span names emitted by Compress, one per pipeline component (paper
+// §2.3) plus the encoder, all children of SpanCompress. Consumers keying
+// metrics or assertions off the trace should use these constants.
+const (
+	SpanCompress         = "compress"
+	SpanDependencyFinder = "dependency_finder"
+	SpanCaRTSelection    = "cart_selection"
+	SpanRowAggregation   = "row_aggregation"
+	SpanOutlierScan      = "outlier_scan"
+	SpanEncode           = "encode"
+)
+
+// PhaseSpans lists the per-component span names in pipeline order.
+var PhaseSpans = []string{
+	SpanDependencyFinder, SpanCaRTSelection, SpanRowAggregation, SpanOutlierScan, SpanEncode,
+}
 
 // SelectionStrategy picks the CaRTSelector algorithm (paper §3.2).
 type SelectionStrategy int
@@ -75,6 +93,12 @@ type Options struct {
 	// Seed fixes all sampling randomness; zero means seed 1. Compression
 	// is fully deterministic for a given (table, options) pair.
 	Seed int64
+	// Trace, when non-nil, receives one span per pipeline component
+	// (see PhaseSpans) under a SpanCompress root, annotated with rows
+	// scanned, CaRTs built, outliers found and bytes written. Tracing is
+	// always on internally — Timings is derived from the spans — so
+	// supplying a Trace costs nothing extra.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -94,7 +118,8 @@ func (o Options) withDefaults() Options {
 }
 
 // Timings records per-component wall-clock time, mirroring the paper's
-// §4.2 running-time accounting.
+// §4.2 running-time accounting. It is derived from the pipeline trace
+// spans (see Options.Trace), kept as a struct for convenient access.
 type Timings struct {
 	DependencyFinder time.Duration
 	CaRTSelection    time.Duration // includes all CaRT builds
@@ -145,22 +170,39 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	stats := &Stats{RawBytes: t.RawSizeBytes()}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	// Tracing is unconditional: Timings is read off the spans, and a
+	// caller-supplied Trace additionally sees every span (plus whatever
+	// observer it registered via OnSpanEnd).
+	tr := opts.Trace
+	if tr == nil {
+		tr = obs.NewTrace(SpanCompress)
+	}
+	root := tr.Start(SpanCompress)
+	root.SetAttr("rows", t.NumRows()).
+		SetAttr("cols", t.NumCols()).
+		SetAttr("raw_bytes", stats.RawBytes)
+	defer root.Finish()
+
 	// DependencyFinder: Bayesian network on a sample. A quarter of the
 	// sample budget is held out for honest prediction-cost estimates
 	// during selection.
-	start := time.Now()
+	sp := root.StartChild(SpanDependencyFinder)
 	sample := t.SampleBytes(opts.SampleBytes, rng)
 	build, holdout := splitSample(sample)
 	net, err := bayesnet.Build(sample, bayesnet.Config{MaxParents: 6})
 	if err != nil {
+		sp.Finish()
 		return nil, fmt.Errorf("spartan: dependency finder: %w", err)
 	}
-	stats.Timings.DependencyFinder = time.Since(start)
+	sp.SetAttr("sample_rows", sample.NumRows()).
+		SetAttr("sample_budget_bytes", opts.SampleBytes)
+	sp.Finish()
+	stats.Timings.DependencyFinder = sp.Duration()
 
 	// CaRTSelector. Materialization costs are estimated by entropy-coding
 	// the sample's columns, so the MaterCost-vs-PredCost trade-off matches
 	// what the T' encoder actually achieves.
-	start = time.Now()
+	sp = root.StartChild(SpanCaRTSelection)
 	cost := cart.NewCostModel(t)
 	for i, bits := range estimateMaterBits(sample) {
 		cost.SetMaterBits(i, bits)
@@ -183,9 +225,9 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		plan, err = selector.MaxIndependentSet(in, selector.Parents)
 	}
 	if err != nil {
+		sp.Finish()
 		return nil, fmt.Errorf("spartan: CaRT selection: %w", err)
 	}
-	stats.Timings.CaRTSelection = time.Since(start)
 	stats.CartsBuilt = plan.CartsBuilt
 	for _, a := range plan.Predicted {
 		stats.Predicted = append(stats.Predicted, t.Attr(a).Name)
@@ -193,23 +235,32 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	for _, a := range plan.Materialized {
 		stats.Materialized = append(stats.Materialized, t.Attr(a).Name)
 	}
+	sp.SetAttr("strategy", opts.Selection.String()).
+		SetAttr("carts_built", plan.CartsBuilt).
+		SetAttr("predicted", len(plan.Predicted)).
+		SetAttr("materialized", len(plan.Materialized))
+	sp.Finish()
+	stats.Timings.CaRTSelection = sp.Duration()
 
 	// RowAggregator: fascicle-quantize the materialized projection without
 	// crossing any CaRT split value.
-	start = time.Now()
+	sp = root.StartChild(SpanRowAggregation)
 	applyTable := t
 	if !opts.DisableRowAggregation && len(plan.Materialized) > 0 {
 		applyTable, stats.Fascicles, err = rowAggregate(t, plan, resolved, opts)
 		if err != nil {
+			sp.Finish()
 			return nil, fmt.Errorf("spartan: row aggregation: %w", err)
 		}
 	}
-	stats.Timings.RowAggregation = time.Since(start)
+	sp.SetAttr("fascicles", stats.Fascicles)
+	sp.Finish()
+	stats.Timings.RowAggregation = sp.Duration()
 
 	// Outlier scan: one pass over the full table per model (paper §2.3:
 	// "SPARTAN then uses the CaRTs built to compress the full data set in
 	// one pass").
-	start = time.Now()
+	sp = root.StartChild(SpanOutlierScan)
 	models := make([]*cart.Model, len(plan.Predicted))
 	scanErrs := make([]error, len(plan.Predicted))
 	var wg sync.WaitGroup
@@ -229,21 +280,25 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	wg.Wait()
 	for _, err := range scanErrs {
 		if err != nil {
+			sp.Finish()
 			return nil, fmt.Errorf("spartan: outlier scan: %w", err)
 		}
 	}
 	for _, m := range models {
 		stats.Outliers += len(m.Outliers)
 	}
-	stats.Timings.OutlierScan = time.Since(start)
+	sp.SetAttr("rows_scanned", t.NumRows()*len(plan.Predicted)).
+		SetAttr("outliers", stats.Outliers)
+	sp.Finish()
+	stats.Timings.OutlierScan = sp.Duration()
 
 	// Encode.
-	start = time.Now()
+	sp = root.StartChild(SpanEncode)
 	bd, err := codec.Encode(w, applyTable, plan.Materialized, models)
 	if err != nil {
+		sp.Finish()
 		return nil, fmt.Errorf("spartan: encoding: %w", err)
 	}
-	stats.Timings.Encode = time.Since(start)
 	stats.HeaderBytes = bd.HeaderBytes
 	stats.ModelBytes = bd.ModelBytes
 	stats.TPrimeBytes = bd.TPrimeBytes
@@ -251,6 +306,13 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	if stats.RawBytes > 0 {
 		stats.Ratio = float64(stats.CompressedBytes) / float64(stats.RawBytes)
 	}
+	sp.SetAttr("bytes_written", stats.CompressedBytes).
+		SetAttr("header_bytes", stats.HeaderBytes).
+		SetAttr("model_bytes", stats.ModelBytes).
+		SetAttr("tprime_bytes", stats.TPrimeBytes)
+	sp.Finish()
+	stats.Timings.Encode = sp.Duration()
+	root.SetAttr("ratio", fmt.Sprintf("%.4f", stats.Ratio))
 	return stats, nil
 }
 

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+)
+
+// TestCompressTrace asserts that one span is emitted per pipeline phase,
+// under a single root, with monotonic timestamps, and that the Timings
+// struct agrees with the span durations.
+func TestCompressTrace(t *testing.T) {
+	tb := datagen.CDR(2000, 1)
+	tr := obs.NewTrace("compress")
+	stats, err := core.Compress(io.Discard, tb, core.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := tr.Find(core.SpanCompress)
+	if root == nil {
+		t.Fatal("missing root compress span")
+	}
+	if root.Depth != 0 || root.End.IsZero() {
+		t.Fatalf("root span depth=%d finished=%v", root.Depth, !root.End.IsZero())
+	}
+
+	spans := tr.Spans()
+	byName := map[string]int{}
+	for _, s := range spans {
+		byName[s.Name]++
+	}
+	for _, phase := range core.PhaseSpans {
+		if byName[phase] != 1 {
+			t.Errorf("phase %q: %d spans, want exactly 1", phase, byName[phase])
+		}
+	}
+	if len(spans) != len(core.PhaseSpans)+1 {
+		t.Errorf("got %d spans, want %d", len(spans), len(core.PhaseSpans)+1)
+	}
+
+	// Monotonic: spans are reported in start order; each phase must end
+	// before the next begins, every span must close inside the root, and
+	// no span may end before it starts.
+	var prev *obs.Span
+	for _, s := range spans[1:] {
+		if s.Depth != 1 {
+			t.Errorf("span %q depth = %d, want 1", s.Name, s.Depth)
+		}
+		if s.End.Before(s.Start) {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+		if s.Start.Before(root.Start) || s.End.After(root.End) {
+			t.Errorf("span %q [%v, %v] escapes root [%v, %v]",
+				s.Name, s.Start, s.End, root.Start, root.End)
+		}
+		if prev != nil && s.Start.Before(prev.End) {
+			t.Errorf("span %q starts before %q ends", s.Name, prev.Name)
+		}
+		prev = s
+	}
+
+	// Timings must be exactly the span durations.
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{core.SpanDependencyFinder, int64(stats.Timings.DependencyFinder)},
+		{core.SpanCaRTSelection, int64(stats.Timings.CaRTSelection)},
+		{core.SpanRowAggregation, int64(stats.Timings.RowAggregation)},
+		{core.SpanOutlierScan, int64(stats.Timings.OutlierScan)},
+		{core.SpanEncode, int64(stats.Timings.Encode)},
+	}
+	for _, c := range checks {
+		if got := int64(tr.Find(c.name).Duration()); got != c.want {
+			t.Errorf("Timings for %q = %d, span duration %d", c.name, c.want, got)
+		}
+	}
+
+	// The §4.2 quantities ride on the spans.
+	if got := tr.Find(core.SpanCaRTSelection).Attr("carts_built"); got != stats.CartsBuilt {
+		t.Errorf("carts_built attr = %v, want %d", got, stats.CartsBuilt)
+	}
+	if got := tr.Find(core.SpanOutlierScan).Attr("outliers"); got != stats.Outliers {
+		t.Errorf("outliers attr = %v, want %d", got, stats.Outliers)
+	}
+	if got := tr.Find(core.SpanEncode).Attr("bytes_written"); got != stats.CompressedBytes {
+		t.Errorf("bytes_written attr = %v, want %d", got, stats.CompressedBytes)
+	}
+
+	// The rendered tree mentions every phase.
+	var b strings.Builder
+	tr.WriteTree(&b)
+	for _, phase := range core.PhaseSpans {
+		if !strings.Contains(b.String(), phase) {
+			t.Errorf("tree missing phase %q:\n%s", phase, b.String())
+		}
+	}
+}
+
+// TestCompressTraceObserver checks the OnSpanEnd hook fires once per span
+// so a metrics registry can be fed from the pipeline.
+func TestCompressTraceObserver(t *testing.T) {
+	tb := datagen.CDR(500, 2)
+	tr := obs.NewTrace("compress")
+	var ended []string
+	tr.OnSpanEnd(func(s *obs.Span) { ended = append(ended, s.Name) })
+	if _, err := core.Compress(io.Discard, tb, core.Options{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ended) != len(core.PhaseSpans)+1 {
+		t.Fatalf("observer fired %d times (%v), want %d", len(ended), ended, len(core.PhaseSpans)+1)
+	}
+	// Root finishes last.
+	if ended[len(ended)-1] != core.SpanCompress {
+		t.Errorf("last ended span = %q, want %q", ended[len(ended)-1], core.SpanCompress)
+	}
+}

@@ -17,9 +17,17 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/fascicle"
 	"repro/internal/gzipref"
+	"repro/internal/obs"
 	"repro/internal/pzipref"
 	"repro/internal/table"
 )
+
+// TraceSink, when non-nil, makes every RunSpartan call trace its pipeline
+// and print the per-phase span tree there — `spartanbench -trace` wires
+// it to stdout so the paper's running-time breakdowns (Figure 6b/6c,
+// Table 1) can be decomposed per component. Set it before starting a run;
+// the harness executes measurements sequentially.
+var TraceSink io.Writer
 
 // Dataset identifies one of the evaluation tables.
 type Dataset string
@@ -147,13 +155,20 @@ func RunPzip(t *table.Table) (CompressorResult, error) {
 }
 
 // RunSpartan measures SPARTAN with the given options, returning both the
-// measurement and the detailed stats.
+// measurement and the detailed stats. With TraceSink set, the run is
+// traced and its span tree printed.
 func RunSpartan(t *table.Table, opts core.Options) (CompressorResult, *core.Stats, error) {
 	start := time.Now()
+	if TraceSink != nil && opts.Trace == nil {
+		opts.Trace = obs.NewTrace(fmt.Sprintf("spartan rows=%d", t.NumRows()))
+	}
 	var counter countingWriter
 	stats, err := core.Compress(&counter, t, opts)
 	if err != nil {
 		return CompressorResult{}, nil, err
+	}
+	if TraceSink != nil {
+		opts.Trace.WriteTree(TraceSink)
 	}
 	return result(t, counter.n, start), stats, nil
 }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// requestIDKey is the context key under which the request ID travels.
+type requestIDKey struct{}
+
+// RequestIDHeader is the header the service reads an incoming request ID
+// from and always sets on responses.
+const RequestIDHeader = "X-Request-Id"
+
+// RequestID returns the request ID middleware attached to the context, or
+// "" outside an instrumented request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns 16 hex characters of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // out of entropy; keep serving
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code and body size a handler wrote,
+// so the access log and metrics see the real response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps h with the full middleware stack, outermost first:
+// request ID → in-flight/latency/status metrics + access log → panic
+// recovery. route is the metric label and log field for the endpoint
+// (the mux pattern's path).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Request ID: propagate the caller's or mint one.
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.m.inFlight.Add(1)
+		defer func() {
+			// Panic recovery: count it, log the stack, and answer 500 if
+			// the handler had not committed a response yet.
+			if p := recover(); p != nil {
+				s.m.panics.Inc()
+				s.log.Error("panic serving request",
+					"route", route,
+					"request_id", id,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()),
+				)
+				if !rec.wrote {
+					rec.Header().Set("Content-Type", "application/json")
+					rec.WriteHeader(http.StatusInternalServerError)
+					_ = json.NewEncoder(rec).Encode(map[string]string{
+						"error":      "internal server error",
+						"request_id": id,
+					})
+				}
+			}
+
+			elapsed := time.Since(start)
+			s.m.inFlight.Add(-1)
+			s.m.requests.Inc(route, strconv.Itoa(rec.status))
+			s.m.latency.Observe(elapsed.Seconds(), route)
+			s.m.responseBytes.Add(float64(rec.bytes), route)
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("request_id", id),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}()
+		h(rec, r)
+	})
+}

@@ -7,23 +7,33 @@
 // Endpoints:
 //
 //	GET  /healthz                         liveness probe
+//	GET  /metrics                         Prometheus text exposition
 //	POST /compress?tolerance=F[&...]      table in (CSV or raw binary) → compressed stream
 //	POST /decompress                      compressed stream → table (CSV or raw binary by Accept)
 //	POST /query?agg=A[&col=C]...          compressed stream → JSON aggregate with bounds
 //
-// Compression statistics are returned in X-Spartan-* response headers.
+// Every route is instrumented: requests carry an X-Request-Id (minted if
+// absent), emit a structured log/slog access line, and feed the metrics
+// registry (see docs/OBSERVABILITY.md for the full metric and span
+// schema). Compression statistics are returned in X-Spartan-* response
+// headers, including the §4.2-style per-phase X-Spartan-Timing-* values.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -31,14 +41,89 @@ import (
 // maxRequestBytes bounds request bodies (tables and compressed streams).
 const maxRequestBytes = 1 << 30
 
+// Server carries the service's dependencies: a structured logger and a
+// metrics registry. Construct with New.
+type Server struct {
+	log *slog.Logger
+	reg *obs.Registry
+	m   metrics
+}
+
+// metrics is the full metric set; names are documented in
+// docs/OBSERVABILITY.md.
+type metrics struct {
+	requests      obs.Counter   // spartan_http_requests_total{route,code}
+	latency       obs.Histogram // spartan_http_request_duration_seconds{route}
+	inFlight      obs.Gauge     // spartan_http_in_flight_requests
+	panics        obs.Counter   // spartan_http_panics_total
+	responseBytes obs.Counter   // spartan_http_response_bytes_total{route}
+
+	ratio          obs.Histogram // spartan_compress_ratio
+	predictedAttrs obs.Histogram // spartan_compress_predicted_attributes
+	tolerance      obs.Histogram // spartan_compress_tolerance
+	phaseSeconds   obs.Histogram // spartan_compress_phase_seconds{phase}
+	rawBytes       obs.Counter   // spartan_compress_raw_bytes_total
+	outBytes       obs.Counter   // spartan_compress_compressed_bytes_total
+}
+
+// Option customizes the service.
+type Option func(*Server)
+
+// WithLogger sets the structured logger for access logs and panics
+// (default slog.Default()).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
+
+// WithRegistry sets the metrics registry (default a fresh one). Pass a
+// shared registry to also expose the metrics on a separate debug
+// listener.
+func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
+
 // New returns the service's HTTP handler.
-func New() http.Handler {
+func New(opts ...Option) http.Handler {
+	s := &Server{log: slog.Default(), reg: obs.NewRegistry()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.m = newMetrics(s.reg)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealth)
-	mux.HandleFunc("POST /compress", handleCompress)
-	mux.HandleFunc("POST /decompress", handleDecompress)
-	mux.HandleFunc("POST /query", handleQuery)
+	mux.Handle("GET /healthz", s.instrument("/healthz", handleHealth))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.reg.Handler().ServeHTTP))
+	mux.Handle("POST /compress", s.instrument("/compress", s.handleCompress))
+	mux.Handle("POST /decompress", s.instrument("/decompress", s.handleDecompress))
+	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
 	return mux
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		requests: reg.Counter("spartan_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.Histogram("spartan_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", obs.DefBuckets, "route"),
+		inFlight: reg.Gauge("spartan_http_in_flight_requests",
+			"Requests currently being served."),
+		panics: reg.Counter("spartan_http_panics_total",
+			"Handler panics recovered by the middleware."),
+		responseBytes: reg.Counter("spartan_http_response_bytes_total",
+			"Response body bytes written, by route.", "route"),
+		ratio: reg.Histogram("spartan_compress_ratio",
+			"Compression ratio (compressed/raw, smaller is better) per /compress call.",
+			obs.LinearBuckets(0.05, 0.05, 19)),
+		predictedAttrs: reg.Histogram("spartan_compress_predicted_attributes",
+			"CaRT-predicted attribute count per /compress call.",
+			obs.LinearBuckets(1, 1, 32)),
+		tolerance: reg.Histogram("spartan_compress_tolerance",
+			"Numeric error tolerance requested per /compress call (fraction of range).",
+			[]float64{0, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}),
+		phaseSeconds: reg.Histogram("spartan_compress_phase_seconds",
+			"Pipeline phase duration in seconds, by phase (paper §4.2 accounting).",
+			obs.DefBuckets, "phase"),
+		rawBytes: reg.Counter("spartan_compress_raw_bytes_total",
+			"Raw (uncompressed) bytes accepted by /compress."),
+		outBytes: reg.Counter("spartan_compress_compressed_bytes_total",
+			"Compressed bytes produced by /compress."),
+	}
 }
 
 func handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -65,8 +150,9 @@ func readTableBody(r *http.Request) (*table.Table, error) {
 
 // tolerancesFromQuery builds the tolerance vector from request
 // parameters: tolerance (numeric fraction of range), cat-tolerance
-// (categorical probability).
-func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, error) {
+// (categorical probability). The raw numeric fraction is also returned
+// for the tolerance-distribution metric.
+func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, float64, error) {
 	parse := func(name string) (float64, error) {
 		s := r.URL.Query().Get(name)
 		if s == "" {
@@ -80,27 +166,51 @@ func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, err
 	}
 	numeric, err := parse("tolerance")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cat, err := parse("cat-tolerance")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return table.UniformTolerances(t, numeric, cat), nil
+	return table.UniformTolerances(t, numeric, cat), numeric, nil
 }
 
-func handleCompress(w http.ResponseWriter, r *http.Request) {
+// timingHeaders maps the X-Spartan-Timing-* header suffixes to the
+// §4.2 phases, in pipeline order.
+var timingHeaders = []struct {
+	suffix string
+	get    func(core.Timings) time.Duration
+}{
+	{"Dependency-Finder", func(t core.Timings) time.Duration { return t.DependencyFinder }},
+	{"Cart-Selection", func(t core.Timings) time.Duration { return t.CaRTSelection }},
+	{"Row-Aggregation", func(t core.Timings) time.Duration { return t.RowAggregation }},
+	{"Outlier-Scan", func(t core.Timings) time.Duration { return t.OutlierScan }},
+	{"Encode", func(t core.Timings) time.Duration { return t.Encode }},
+	{"Total", core.Timings.Total},
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	t, err := readTableBody(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tol, err := tolerancesFromQuery(r, t)
+	tol, numericTol, err := tolerancesFromQuery(r, t)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := core.Options{Tolerances: tol}
+
+	// Pipeline trace: the span observer streams per-phase durations into
+	// the registry as the phases finish.
+	tr := obs.NewTrace("compress")
+	tr.OnSpanEnd(func(sp *obs.Span) {
+		if sp.Name != core.SpanCompress {
+			s.m.phaseSeconds.Observe(sp.Duration().Seconds(), sp.Name)
+		}
+	})
+
+	opts := core.Options{Tolerances: tol, Trace: tr}
 	switch sel := r.URL.Query().Get("selection"); sel {
 	case "", "wmis-parents":
 	case "wmis-markov":
@@ -111,26 +221,44 @@ func handleCompress(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown selection %q", sel))
 		return
 	}
+
 	// Compress into memory first so errors can still become proper HTTP
-	// statuses and stats can travel as headers.
-	var buf writeCounter
+	// statuses and stats can travel as headers. The buffer is sized off
+	// the raw table: SPARTAN rarely exceeds a quarter of the input, so
+	// RawBytes/4 avoids the append-regrow churn of an unsized buffer
+	// without holding raw-sized memory per request.
+	var buf bytes.Buffer
+	if hint := t.RawSizeBytes() / 4; hint > 0 {
+		buf.Grow(min(hint, 64<<20))
+	}
 	stats, err := core.Compress(&buf, t, opts)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+
+	s.m.ratio.Observe(stats.Ratio)
+	s.m.predictedAttrs.Observe(float64(len(stats.Predicted)))
+	s.m.tolerance.Observe(numericTol)
+	s.m.rawBytes.Add(float64(stats.RawBytes))
+	s.m.outBytes.Add(float64(stats.CompressedBytes))
+
 	h := w.Header()
 	h.Set("Content-Type", "application/x-spartan")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
 	h.Set("X-Spartan-Raw-Bytes", strconv.Itoa(stats.RawBytes))
 	h.Set("X-Spartan-Compressed-Bytes", strconv.Itoa(stats.CompressedBytes))
 	h.Set("X-Spartan-Ratio", strconv.FormatFloat(stats.Ratio, 'f', 4, 64))
 	h.Set("X-Spartan-Predicted", strings.Join(stats.Predicted, ","))
-	if _, err := w.Write(buf.data); err != nil {
+	for _, th := range timingHeaders {
+		h.Set("X-Spartan-Timing-"+th.suffix, th.get(stats.Timings).String())
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		return // client went away
 	}
 }
 
-func handleDecompress(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
 	t, err := core.Decompress(body)
 	if err != nil {
@@ -162,7 +290,7 @@ type queryGroupDTO struct {
 	Uncertain int      `json:"uncertain"`
 }
 
-func handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
 	t, err := core.Decompress(body)
 	if err != nil {
@@ -191,7 +319,7 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tol, err := tolerancesFromQuery(r, t)
+	tol, _, err := tolerancesFromQuery(r, t)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -219,9 +347,7 @@ func handleQuery(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-type writeCounter struct{ data []byte }
-
-func (c *writeCounter) Write(p []byte) (int, error) {
-	c.data = append(c.data, p...)
-	return len(p), nil
+// discardLogger is a logger for tests and callers that want silence.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

@@ -15,7 +15,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(New())
+	srv := httptest.NewServer(New(WithLogger(discardLogger())))
 	t.Cleanup(srv.Close)
 	return srv
 }

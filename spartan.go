@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cart"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -76,7 +77,29 @@ type (
 	SelectionStrategy = core.SelectionStrategy
 	// PruneMode selects the CaRT pruning strategy.
 	PruneMode = cart.PruneMode
+	// Trace collects the pipeline spans of one compression run; pass one
+	// via Options.Trace to observe per-component timing (paper §4.2).
+	Trace = obs.Trace
+	// Span is one timed, annotated pipeline section within a Trace.
+	Span = obs.Span
 )
+
+// Span names emitted by Compress: a SpanCompress root with one child per
+// pipeline component, in PhaseSpans order.
+const (
+	SpanCompress         = core.SpanCompress
+	SpanDependencyFinder = core.SpanDependencyFinder
+	SpanCaRTSelection    = core.SpanCaRTSelection
+	SpanRowAggregation   = core.SpanRowAggregation
+	SpanOutlierScan      = core.SpanOutlierScan
+	SpanEncode           = core.SpanEncode
+)
+
+// PhaseSpans lists the per-component span names in pipeline order.
+var PhaseSpans = core.PhaseSpans
+
+// NewTrace returns an empty pipeline trace for Options.Trace.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
 // CaRT-selection strategies (paper §3.2, Table 1).
 const (
