@@ -1,15 +1,21 @@
-# Development entry points. `make check` is the tier-1 gate plus vet and
-# the race detector (the obs registry and middleware must stay clean
-# under it).
+# Development entry points. `make check` is the tier-1 gate plus vet, the
+# race detector (the obs registry and middleware must stay clean under
+# it) and the spartanvet lint suite (see docs/DEVELOPMENT.md).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bin
+.PHONY: check vet lint build test race bench bin
 
-check: vet build race
+check: vet build race lint
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's domain-aware analyzers (internal/analysis)
+# through the standard vet driver; any finding fails the target.
+lint:
+	$(GO) build -o bin/spartanvet ./cmd/spartanvet
+	$(GO) vet -vettool=$(CURDIR)/bin/spartanvet ./...
 
 build:
 	$(GO) build ./...

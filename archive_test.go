@@ -1,0 +1,131 @@
+package spartan
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestArchiveRoundTripToleranceRespected drives the public archive API
+// end to end: blocks in, one table out, every numeric value within the
+// tolerance it was compressed under.
+func TestArchiveRoundTripToleranceRespected(t *testing.T) {
+	tb := datagen.CDR(3000, 9)
+	// Absolute tolerances so every block enforces the same bound.
+	tol := make(Tolerances, tb.NumCols())
+	for i := 0; i < tb.NumCols(); i++ {
+		if tb.Attr(i).Kind == Numeric {
+			tol[i] = Tolerance{Value: 0.01 * tb.Col(i).Range()}
+		}
+	}
+
+	var buf bytes.Buffer
+	aw, err := NewArchiveWriter(&buf, Options{Tolerances: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blockRows = 800
+	for lo := 0; lo < tb.NumRows(); lo += blockRows {
+		hi := lo + blockRows
+		if hi > tb.NumRows() {
+			hi = tb.NumRows()
+		}
+		rows := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			rows = append(rows, r)
+		}
+		block, err := tb.SelectRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := aw.WriteBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aw.Blocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", aw.Blocks())
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadArchive(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tb.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), tb.NumRows())
+	}
+	// Verify checks every value against the tolerance vector; do a direct
+	// spot check of the max deviation as well so a Verify regression
+	// cannot mask a bound violation here.
+	if err := Verify(tb, back, tol); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < tb.NumCols(); c++ {
+		if tb.Attr(c).Kind != Numeric {
+			continue
+		}
+		worst := 0.0
+		for r := 0; r < tb.NumRows(); r++ {
+			worst = math.Max(worst, math.Abs(tb.Float(r, c)-back.Float(r, c)))
+		}
+		if worst > tol[c].Value+1e-9 {
+			t.Errorf("column %s: max deviation %g exceeds tolerance %g",
+				tb.Attr(c).Name, worst, tol[c].Value)
+		}
+	}
+}
+
+// TestArchiveReaderStreamsBlocks reads the archive block by block via
+// the public reader and checks the stream terminates cleanly.
+func TestArchiveReaderStreamsBlocks(t *testing.T) {
+	tb := datagen.CDR(1200, 5)
+	var buf bytes.Buffer
+	aw, err := NewArchiveWriter(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := tb.NumRows() / 2
+	for _, bounds := range [][2]int{{0, half}, {half, tb.NumRows()}} {
+		rows := make([]int, 0, bounds[1]-bounds[0])
+		for r := bounds[0]; r < bounds[1]; r++ {
+			rows = append(rows, r)
+		}
+		block, err := tb.SelectRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := aw.WriteBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := NewArchiveReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	blocks := 0
+	for {
+		block, err := ar.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks++
+		rows += block.NumRows()
+	}
+	if blocks != 2 || rows != tb.NumRows() {
+		t.Errorf("streamed %d blocks / %d rows, want 2 / %d", blocks, rows, tb.NumRows())
+	}
+}

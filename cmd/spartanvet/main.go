@@ -1,0 +1,37 @@
+// Spartanvet is SPARTAN's domain-aware static-analysis suite: five
+// analyzers that encode invariants the Go compiler cannot see (raw float
+// equality on tolerances, unfinished pipeline spans, unbalanced registry
+// locks, swallowed archive-write errors, malformed metric names).
+//
+// It speaks the `go vet` tool protocol; run it through the go command:
+//
+//	go build -o bin/spartanvet ./cmd/spartanvet
+//	go vet -vettool=bin/spartanvet ./...
+//
+// or simply `make lint`. Individual analyzers can be selected the same
+// way as with stock vet: `go vet -vettool=bin/spartanvet -floatcmp ./...`.
+// See docs/DEVELOPMENT.md for the analyzer catalogue and the
+// //spartanvet:ignore suppression syntax.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/errcheckio"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/lockbalance"
+	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/spanfinish"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Run("spartanvet", os.Args[1:], []*analysis.Analyzer{
+		floatcmp.Analyzer,
+		spanfinish.Analyzer,
+		lockbalance.Analyzer,
+		errcheckio.Analyzer,
+		metricname.Analyzer,
+	})
+}

@@ -1,0 +1,161 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that SPARTAN's domain analyzers
+// need. The repository is deliberately zero-dependency (see go.mod), so
+// instead of importing x/tools this package provides the same shape —
+// an Analyzer with a Run function over a type-checked Pass — plus the
+// two drivers the repo uses:
+//
+//   - analyzertest runs an analyzer over golden files in testdata/src and
+//     checks diagnostics against `// want "regexp"` comments;
+//   - unitchecker speaks the `go vet -vettool` command-line protocol so
+//     the whole suite runs as `go vet -vettool=$(which spartanvet) ./...`
+//     (the `make lint` entry point).
+//
+// The analyzers themselves encode SPARTAN invariants the compiler cannot
+// see: tolerance comparisons must not use raw float equality (floatcmp),
+// pipeline spans must be finished (spanfinish), registry locks must be
+// balanced and panic-safe (lockbalance), archive writes must not swallow
+// errors (errcheckio), and metric registrations must be valid and
+// consistent (metricname).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus facts and requires.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //spartanvet:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: one summary line, a blank line, then detail.
+	Doc string
+	// Run executes the check on one package and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole vet run — reserve it
+	// for internal failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report     func(Diagnostic)
+	suppressed suppressionIndex
+}
+
+// NewPass assembles a pass; report receives every non-suppressed
+// diagnostic. Drivers construct one pass per (package, analyzer) pair.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		report:     report,
+		suppressed: indexSuppressions(fset, files),
+	}
+}
+
+// Reportf records a finding unless a //spartanvet:ignore directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed.covers(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// PackageBase reports whether the pass's package import path has one of
+// the given final path elements (e.g. "cart" matches both the real
+// "repro/internal/cart" and an analyzer-test fixture package "cart").
+// Scoped analyzers use it to restrict themselves to the packages whose
+// invariants they encode.
+func (p *Pass) PackageBase(names ...string) bool {
+	path := p.Pkg.Path()
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	for _, n := range names {
+		if base == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+//
+//	//spartanvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory — a bare directive suppresses nothing.
+const IgnoreDirective = "//spartanvet:ignore"
+
+// suppressionIndex maps file → line → analyzer names suppressed there.
+type suppressionIndex map[string]map[int][]string
+
+func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				// Cover the directive's own line (trailing comment) and
+				// the next line (comment-above style).
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], fields[0])
+			}
+		}
+	}
+	return idx
+}
+
+func (idx suppressionIndex) covers(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, name := range idx[p.Filename][p.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

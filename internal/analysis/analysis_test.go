@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo trailing-comment style
+	//spartanvet:ignore demo comment-above style
+	_ = 2
+	_ = 3
+}
+`)
+	idx := indexSuppressions(fset, files)
+	tf := fset.File(files[0].Pos())
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{
+		{4, true},  // trailing comment
+		{5, true},  // the directive's own line
+		{6, true},  // comment-above
+		{7, false}, // out of reach
+	} {
+		pos := tf.LineStart(tc.line)
+		if got := idx.covers(fset, pos, "demo"); got != tc.want {
+			t.Errorf("line %d: covers=%v, want %v", tc.line, got, tc.want)
+		}
+	}
+	// A different analyzer name is not covered.
+	if idx.covers(fset, tf.LineStart(4), "other") {
+		t.Error("directive for demo must not cover analyzer other")
+	}
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo
+}
+`)
+	idx := indexSuppressions(fset, files)
+	tf := fset.File(files[0].Pos())
+	if idx.covers(fset, tf.LineStart(4), "demo") {
+		t.Error("a reasonless ignore directive must be inert")
+	}
+}
+
+func TestPackageBase(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		name string
+		want bool
+	}{
+		{"repro/internal/cart", "cart", true},
+		{"cart", "cart", true},
+		{"repro/internal/fascicle", "cart", false},
+		{"repro/internal/cartoon", "cart", false},
+	} {
+		p := &Pass{Pkg: types.NewPackage(tc.path, "x")}
+		if got := p.PackageBase(tc.name); got != tc.want {
+			t.Errorf("PackageBase(%q) on %q = %v, want %v", tc.name, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestReportfSuppressed(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo reason here
+	_ = 2
+	_ = 3
+}
+`)
+	a := &Analyzer{Name: "demo"}
+	var got []Diagnostic
+	pass := NewPass(a, fset, files, types.NewPackage("p", "p"), &types.Info{}, func(d Diagnostic) {
+		got = append(got, d)
+	})
+	tf := fset.File(files[0].Pos())
+	pass.Reportf(tf.LineStart(4), "suppressed")
+	pass.Reportf(tf.LineStart(6), "reported")
+	if len(got) != 1 || got[0].Message != "reported" {
+		t.Fatalf("diagnostics = %+v, want exactly the unsuppressed one", got)
+	}
+	if got[0].Analyzer != "demo" {
+		t.Fatalf("diagnostic analyzer = %q, want demo", got[0].Analyzer)
+	}
+}

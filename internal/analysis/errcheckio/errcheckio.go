@@ -1,0 +1,109 @@
+// Package errcheckio flags discarded errors from io.Writer and
+// encoding-layer calls in internal/codec and internal/archive — the two
+// packages that produce SPARTAN's wire bytes. A swallowed short write
+// there does not fail loudly: it silently truncates a section of the
+// stream and corrupts the archive, which the reader may only notice via
+// a checksum mismatch many blocks later (or, for the header, not at all).
+//
+// The check fires on statement-position calls whose final result is an
+// error when the callee is a write/flush/close/encode method or a
+// function from an io/encoding/compress package. Assigning the error to
+// blank (`_ = w.Write(b)`) is treated as an explicit, reviewed discard
+// and is not flagged; deferred calls are likewise exempt (use a named
+// helper if a deferred error matters).
+package errcheckio
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags dropped io/encoding errors in the wire-format packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheckio",
+	Doc: "flag discarded errors on io.Writer/encoding calls in codec and archive\n\n" +
+		"A swallowed short write silently corrupts the archive; check every\n" +
+		"error, or assign it to _ to mark an intentional discard.",
+	Run: run,
+}
+
+var scope = []string{"codec", "archive"}
+
+// ioMethods are method names whose dropped error is flagged.
+var ioMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "ReadFrom": true, "Flush": true, "Close": true,
+	"Encode": true, "Sync": true,
+}
+
+// ioPkgPrefixes are package paths whose error-returning functions are
+// flagged when called at statement position (io.Copy, binary.Write, ...).
+var ioPkgPrefixes = []string{"io", "encoding/", "compress/", "bufio"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !returnsError(pass, call) {
+				return true
+			}
+			if name, isIO := ioCallee(pass, call); isIO {
+				pass.Reportf(call.Pos(), "error from %s is discarded; a swallowed short write corrupts the stream — check it (or assign to _ to discard explicitly)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's only or final result is error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// ioCallee classifies the callee; it returns a display name and whether
+// the call falls under this analyzer's io/encoding umbrella.
+func ioCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package-level function: io.Copy, binary.Write, gob.Register...
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			path := obj.Imported().Path()
+			for _, prefix := range ioPkgPrefixes {
+				if path == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(path, prefix) {
+					return path + "." + sel.Sel.Name, true
+				}
+			}
+			return "", false
+		}
+	}
+	// Method call: anything with a writeish name on any receiver.
+	if ioMethods[sel.Sel.Name] {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package errcheckio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errcheckio"
+)
+
+func TestErrcheckio(t *testing.T) {
+	analyzertest.Run(t, "../testdata", errcheckio.Analyzer, "codec")
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analyzertest.Run(t, "../testdata", floatcmp.Analyzer, "cart", "stats")
+}

@@ -1,0 +1,174 @@
+// Package lockbalance flags sync.Mutex / sync.RWMutex acquisitions in
+// internal/obs and internal/server that are released by a non-deferred
+// Unlock, or never released in the acquiring function at all. Those two
+// packages sit on every request path (the metrics registry is hit by
+// each middleware-wrapped handler), so a panic between Lock and a manual
+// Unlock wedges the whole service — the "race-clean under load" ROADMAP
+// requirement only holds if every pair is panic-safe.
+//
+// The fix is either `defer mu.Unlock()` right after the Lock, or hoisting
+// the critical section into a small helper that does so (the snapshot
+// pattern). Genuine hand-over-hand locking can be suppressed with
+// //spartanvet:ignore lockbalance <reason>.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unbalanced or non-deferred mutex pairs.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "flag Lock/Unlock pairs that are unbalanced or not deferred in obs and server\n\n" +
+		"Every sync.Mutex/RWMutex Lock (and RLock) in these packages must be\n" +
+		"released by a deferred Unlock so a panic cannot leak the lock.",
+	Run: run,
+}
+
+var scope = []string{"obs", "server"}
+
+// unlockFor maps an acquire method to its release method.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures are their own defer scope
+		}
+		st, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, acquire := mutexCall(pass, call)
+		release, isAcquire := unlockFor[acquire]
+		if !isAcquire {
+			return true
+		}
+		want := recv + "." + release
+
+		var deferredAfter, explicitAfter bool
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch mm := m.(type) {
+			case *ast.DeferStmt:
+				if mm.Pos() > call.Pos() && deferReleases(pass, mm.Call, want) {
+					deferredAfter = true
+				}
+			case *ast.CallExpr:
+				if mm.Pos() > call.Pos() && mm != call {
+					if r, name := mutexCall(pass, mm); name == release && r == recv {
+						explicitAfter = true
+					}
+				}
+			}
+			return true
+		})
+		switch {
+		case deferredAfter:
+		case explicitAfter:
+			pass.Reportf(call.Pos(), "%s.%s is released by a non-deferred %s; use defer %s() so a panic cannot leak the lock",
+				recv, acquire, release, want)
+		default:
+			pass.Reportf(call.Pos(), "%s.%s is never released in this function; add defer %s()",
+				recv, acquire, want)
+		}
+		return true
+	})
+}
+
+// mutexCall reports the rendered receiver and method name if call is a
+// method call on a sync.Mutex or sync.RWMutex (possibly via pointer).
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (recv, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", ""
+	}
+	return exprString(sel.X), sel.Sel.Name
+}
+
+// deferReleases reports whether the deferred call releases want — either
+// directly (`defer mu.Unlock()`) or inside an immediately-run closure.
+func deferReleases(pass *analysis.Pass, call *ast.CallExpr, want string) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if exprString(sel.X)+"."+sel.Sel.Name == want {
+			return true
+		}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && exprString(sel.X)+"."+sel.Sel.Name == want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	default:
+		return "mutex"
+	}
+}

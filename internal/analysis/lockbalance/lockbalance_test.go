@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	analyzertest.Run(t, "../testdata", lockbalance.Analyzer, "obs")
+}

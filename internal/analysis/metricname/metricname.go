@@ -1,0 +1,189 @@
+// Package metricname validates obs.Registry metric registrations at
+// compile time: names and label names must be valid Prometheus
+// identifiers, and every registration of a given metric name must use
+// one consistent label set. The registry enforces the latter with a
+// panic at runtime (obs.Registry.register); this analyzer moves both
+// failure modes to `make lint`, before a bad dashboard identifier or a
+// label-schema drift ever ships.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags invalid or inconsistent metric registrations.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "flag metric registrations with invalid Prometheus names or inconsistent label sets\n\n" +
+		"Names must match [a-zA-Z_:][a-zA-Z0-9_:]*, labels must match\n" +
+		"[a-zA-Z_][a-zA-Z0-9_]* and not use the reserved __ prefix or le,\n" +
+		"and re-registrations must repeat the same label names.",
+	Run: run,
+}
+
+// registerMethods maps registration method names (on a Registry-typed
+// receiver) to the argument index where label names begin.
+var registerMethods = map[string]int{
+	"Counter":   2, // (name, help, labels...)
+	"Gauge":     2, // (name, help, labels...)
+	"Histogram": 3, // (name, help, buckets, labels...)
+}
+
+type registration struct {
+	labels []string
+	pos    token.Position
+}
+
+func run(pass *analysis.Pass) error {
+	seen := map[string]registration{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+
+			name, isConst := constString(pass, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name is not a constant string; spartanvet cannot verify it against the Prometheus grammar")
+				return true
+			}
+			if !validMetricName(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q is not a valid Prometheus identifier (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name)
+			}
+			if strings.HasPrefix(name, "__") {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q uses the reserved __ prefix", name)
+			}
+
+			labels, allConst := labelArgs(pass, call, labelStart)
+			for _, l := range labels {
+				switch {
+				case !validLabelName(l):
+					pass.Reportf(call.Pos(), "label name %q on metric %q is not a valid Prometheus label (want [a-zA-Z_][a-zA-Z0-9_]*)", l, name)
+				case strings.HasPrefix(l, "__"):
+					pass.Reportf(call.Pos(), "label name %q on metric %q uses the reserved __ prefix", l, name)
+				case l == "le":
+					pass.Reportf(call.Pos(), "label name \"le\" on metric %q collides with the histogram bucket label", name)
+				}
+			}
+			if !allConst {
+				return true // cannot compare label schemas we cannot see
+			}
+			if prev, dup := seen[name]; dup {
+				if !sameLabels(prev.labels, labels) {
+					pass.Reportf(call.Pos(), "metric %q re-registered with labels [%s]; first registered with [%s] at %s (obs.Registry panics on this at runtime)",
+						name, strings.Join(labels, " "), strings.Join(prev.labels, " "), prev.pos)
+				}
+			} else {
+				seen[name] = registration{labels: labels, pos: pass.Fset.Position(call.Pos())}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall reports whether call is a registration method on a
+// *Registry (any package defining a Registry type counts, so analyzer
+// fixtures don't need to import internal/obs), and at which argument
+// index label names start.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (labelStart int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false
+	}
+	labelStart, isReg := registerMethods[sel.Sel.Name]
+	if !isReg {
+		return 0, false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return 0, false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	return labelStart, true
+}
+
+// labelArgs extracts the constant label-name arguments; allConst is
+// false when any label is dynamic or passed via slice expansion.
+func labelArgs(pass *analysis.Pass, call *ast.CallExpr, start int) (labels []string, allConst bool) {
+	if call.Ellipsis.IsValid() {
+		return nil, false
+	}
+	allConst = true
+	for i := start; i < len(call.Args); i++ {
+		s, ok := constString(pass, call.Args[i])
+		if !ok {
+			allConst = false
+			continue
+		}
+		labels = append(labels, s)
+	}
+	return labels, allConst
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sameLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

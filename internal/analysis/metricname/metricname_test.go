@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analyzertest.Run(t, "../testdata", metricname.Analyzer, "metrics")
+}

@@ -1,0 +1,214 @@
+// Package spanfinish flags obs pipeline spans that are started but can
+// escape unfinished. An unfinished span never stamps its End time, so the
+// §4.2-style per-phase accounting under-reports, the OnSpanEnd observer
+// that feeds the metrics registry never fires, and Duration() keeps
+// ticking forever.
+//
+// The check is syntactic but path-aware in the direction that matters:
+// a started span must either be finished via defer, or every return
+// statement between the start and the variable's next reuse must be
+// preceded by an explicit Finish call. Discarding the result of
+// Start/StartChild outright is always an error — nobody can ever finish
+// such a span.
+package spanfinish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags spans that are started without a Finish on all paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanfinish",
+	Doc: "flag obs spans started without a corresponding Finish/defer on all paths\n\n" +
+		"Every *obs.Span obtained from Start/StartChild must be finished via\n" +
+		"defer sp.Finish(), or explicitly before every return in its live range.",
+	Run: run,
+}
+
+// startMethods are the span-producing calls the analyzer tracks.
+var startMethods = map[string]bool{"Start": true, "StartChild": true, "StartSpan": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body. Nested function literals get
+// their own checkFunc visit from run's walk; here they only contribute
+// Finish calls (a finish inside a helper closure still finishes the
+// span) and are excluded from the return-path scan (their returns leave
+// the closure, not this function).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var starts []startSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures get their own checkFunc visit
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(), "result of %s is discarded; the span can never be finished", callName(call))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isSpanStart(pass, call) || i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := st.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						pass.Reportf(call.Pos(), "result of %s is assigned to _; the span can never be finished", callName(call))
+						continue
+					}
+					starts = append(starts, startSite{name: lhs.Name, pos: call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	// Establish each start's live range: from the start to the next
+	// reassignment of the same variable (spans are commonly reused as
+	// `sp = root.StartChild(...)` per phase), else end of function.
+	for i := range starts {
+		starts[i].end = body.End()
+		for _, other := range starts {
+			if other.name == starts[i].name && other.pos > starts[i].pos && other.pos < starts[i].end {
+				starts[i].end = other.pos
+			}
+		}
+	}
+	for _, s := range starts {
+		checkRange(pass, body, s)
+	}
+}
+
+type startSite struct {
+	name string
+	pos  token.Pos
+	end  token.Pos
+}
+
+func checkRange(pass *analysis.Pass, body *ast.BlockStmt, s startSite) {
+	inRange := func(p token.Pos) bool { return p > s.pos && p < s.end }
+
+	var deferred bool
+	var finishes []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if !inRange(st.Pos()) {
+				return true
+			}
+			if isFinishOn(st.Call, s.name) || deferredClosureFinishes(st.Call, s.name) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if inRange(st.Pos()) && isFinishOn(st, s.name) {
+				finishes = append(finishes, st.Pos())
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if len(finishes) == 0 {
+		pass.Reportf(s.pos, "span %s is started but never finished; add defer %s.Finish()", s.name, s.name)
+		return
+	}
+	// Explicit finishes only: every return in the live range must come
+	// after at least one Finish (position approximation of "covered").
+	firstFinish := finishes[0]
+	for _, f := range finishes {
+		if f < firstFinish {
+			firstFinish = f
+		}
+	}
+	var uncovered []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside closures leave the closure only
+		}
+		// A return is "covered" when some Finish textually precedes its
+		// end — this admits both `sp.Finish(); return` and a finish
+		// inside the returned expression (handoff closures).
+		if ret, ok := n.(*ast.ReturnStmt); ok && inRange(ret.Pos()) && ret.End() < firstFinish {
+			uncovered = append(uncovered, ret.Pos())
+		}
+		return true
+	})
+	for _, p := range uncovered {
+		pass.Reportf(p, "return may leave span %s unfinished; call %s.Finish() first or use defer", s.name, s.name)
+	}
+}
+
+// isSpanStart reports whether call produces a *Span via a start method.
+func isSpanStart(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !startMethods[sel.Sel.Name] {
+		return false
+	}
+	ptr, ok := pass.TypeOf(call).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// isFinishOn reports whether call is `<name>.Finish()`.
+func isFinishOn(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Finish" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// deferredClosureFinishes reports whether call is an immediately-invoked
+// closure (`defer func() { ... }()`) that finishes the span inside.
+func deferredClosureFinishes(call *ast.CallExpr, name string) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isFinishOn(c, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "span start"
+}

@@ -1,0 +1,12 @@
+package spanfinish_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/spanfinish"
+)
+
+func TestSpanfinish(t *testing.T) {
+	analyzertest.Run(t, "../testdata", spanfinish.Analyzer, "pipeline")
+}

@@ -1,0 +1,67 @@
+// Fixture for the metricname analyzer. The local Registry mirrors
+// repro/internal/obs.Registry's registration surface; the analyzer keys
+// on the receiver type name, so no import is needed.
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labelNames ...string) Counter { return Counter{} }
+func (r *Registry) Gauge(name, help string, labelNames ...string) Gauge     { return Gauge{} }
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) Histogram {
+	return Histogram{}
+}
+
+func valid(r *Registry) {
+	r.Counter("spartan_http_requests_total", "requests", "route", "code")
+	r.Gauge("spartan_in_flight", "in flight")
+	r.Histogram("spartan_latency_seconds", "latency", nil, "route")
+	r.Counter("spartan:aggregated:rate", "recording-rule style name is legal")
+}
+
+func invalidNames(r *Registry) {
+	r.Counter("spartan-http-requests", "dashes are illegal")  // want `not a valid Prometheus identifier`
+	r.Gauge("0starts_with_digit", "leading digit is illegal") // want `not a valid Prometheus identifier`
+	r.Counter("", "empty name")                               // want `not a valid Prometheus identifier`
+	r.Counter("__reserved_total", "reserved prefix")          // want `reserved __ prefix`
+	r.Histogram("spartan latency", "space is illegal", nil)   // want `not a valid Prometheus identifier`
+}
+
+func invalidLabels(r *Registry) {
+	r.Counter("spartan_label_fixture_a_total", "bad label", "http-route")  // want `not a valid Prometheus label`
+	r.Counter("spartan_label_fixture_b_total", "reserved", "__name")       // want `reserved __ prefix`
+	r.Histogram("spartan_label_fixture_seconds", "le collides", nil, "le") // want `collides with the histogram bucket label`
+}
+
+func inconsistent(r *Registry) {
+	r.Counter("spartan_dup_total", "first", "route")
+	r.Counter("spartan_dup_total", "second", "route")        // same schema: fine
+	r.Counter("spartan_dup_total", "third", "route", "code") // want `re-registered with labels \[route code\]`
+	r.Gauge("spartan_dup_gauge", "first", "a")
+	r.Gauge("spartan_dup_gauge", "second", "b") // want `re-registered with labels \[b\]`
+}
+
+func dynamic(r *Registry, name string) {
+	r.Counter(name, "dynamic names cannot be verified") // want `not a constant string`
+}
+
+func dynamicLabels(r *Registry, labels []string) {
+	// Slice expansion hides the schema; the name is still validated.
+	r.Counter("spartan_dynamic_labels_total", "help", labels...)
+}
+
+const metricPrefix = "spartan_"
+
+func constExpr(r *Registry) {
+	// Constant expressions are resolved before validation.
+	r.Counter(metricPrefix+"const_expr_total", "built from consts")
+	r.Counter(metricPrefix+"bad näme", "still validated") // want `not a valid Prometheus identifier`
+}
+
+func suppressed(r *Registry) {
+	//spartanvet:ignore metricname legacy dashboard name kept for continuity
+	r.Counter("legacy-dashboard-name", "kept for dashboard continuity")
+}

@@ -1,0 +1,65 @@
+// Fixture for the lockbalance analyzer: package base name "obs" puts it
+// in scope, mirroring repro/internal/obs.
+package obs
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items []int
+}
+
+func (r *registry) deferredPair() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items = append(r.items, 1)
+}
+
+func (r *registry) manualPair() {
+	r.mu.Lock() // want `released by a non-deferred Unlock`
+	r.items = append(r.items, 1)
+	r.mu.Unlock()
+}
+
+func (r *registry) neverReleased() {
+	r.mu.Lock() // want `never released in this function`
+	r.items = append(r.items, 1)
+}
+
+func (r *registry) readPath() []int {
+	r.rw.RLock() // want `released by a non-deferred RUnlock`
+	out := append([]int(nil), r.items...)
+	r.rw.RUnlock()
+	return out
+}
+
+func (r *registry) deferredRead() []int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return append([]int(nil), r.items...)
+}
+
+func (r *registry) deferredClosure() {
+	r.mu.Lock()
+	defer func() {
+		r.items = nil
+		r.mu.Unlock()
+	}()
+}
+
+func (r *registry) distinctMutexes() {
+	r.mu.Lock() // want `r.mu.Lock is never released`
+	defer r.rw.Unlock()
+}
+
+func (r *registry) suppressedHandOver() {
+	//spartanvet:ignore lockbalance lock is handed to release()
+	r.mu.Lock()
+	go r.release()
+}
+
+func (r *registry) release() {
+	r.items = nil
+	r.mu.Unlock()
+}

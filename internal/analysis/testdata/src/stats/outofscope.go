@@ -1,0 +1,5 @@
+// Fixture proving floatcmp stays scoped: "stats" is not a tolerance
+// package, so raw float equality here is not this analyzer's business.
+package stats
+
+func mean(a, b float64) bool { return a == b }

@@ -1,0 +1,346 @@
+// Package unitchecker implements the command-line protocol that `go vet`
+// speaks to an external analysis tool (`go vet -vettool=...`). It is a
+// standard-library-only equivalent of
+// golang.org/x/tools/go/analysis/unitchecker, providing exactly what
+// cmd/spartanvet needs:
+//
+//   - `tool -V=full` prints a content-addressed version line the go
+//     command uses for build caching;
+//   - `tool -flags` prints the supported flags as JSON;
+//   - `tool [flags] $dir/vet.cfg` type-checks one package unit described
+//     by the JSON config (source files plus export data for every
+//     dependency) and runs the analyzers over it.
+//
+// Diagnostics are printed to stderr as "file:line:col: message [name]"
+// and make the process exit non-zero, which `go vet` reports as failure.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the package-unit description the go command writes to
+// $objdir/vet.cfg. Field names follow cmd/go/internal/work.vetConfig;
+// fields the checker does not need are accepted and ignored.
+type Config struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run is the entry point for a vettool main: it interprets the protocol
+// arguments in args (typically os.Args[1:]) and never returns.
+func Run(progname string, args []string, analyzers []*analysis.Analyzer) {
+	exit(run(progname, args, analyzers, os.Stdout, os.Stderr))
+}
+
+func exit(code int) { os.Exit(code) }
+
+func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	enabled := map[string]*bool{}
+	var cfgFile string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Fprintln(stdout, versionLine(progname))
+			return 0
+		case arg == "-V" || strings.HasPrefix(arg, "-V="):
+			// Plain -V: a short version is enough.
+			fmt.Fprintf(stdout, "%s version devel\n", progname)
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			fmt.Fprintln(stdout, flagsJSON(analyzers))
+			return 0
+		case strings.HasPrefix(arg, "-"):
+			name, val, ok := parseBoolFlag(arg)
+			if !ok {
+				fmt.Fprintf(stderr, "%s: unrecognized flag %s\n", progname, arg)
+				return 2
+			}
+			enabled[name] = &val
+		default:
+			if cfgFile != "" {
+				fmt.Fprintf(stderr, "%s: unexpected argument %s (want a single *.cfg file)\n", progname, arg)
+				return 2
+			}
+			cfgFile = arg
+		}
+	}
+	if cfgFile == "" || !strings.HasSuffix(cfgFile, ".cfg") {
+		fmt.Fprintf(stderr, "%s: this tool speaks the `go vet` protocol; invoke it as: go vet -vettool=%s ./...\n", progname, progname)
+		return 1
+	}
+
+	// Honor per-analyzer -name=true/false flags the way `go vet` does: if
+	// any analyzer is explicitly enabled, only the enabled set runs.
+	selected := analyzers
+	if anyExplicitTrue(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if v := enabled[a.Name]; v != nil && *v {
+				selected = append(selected, a)
+			}
+		}
+	} else {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if v := enabled[a.Name]; v != nil && !*v {
+				continue
+			}
+			keep = append(keep, a)
+		}
+		selected = keep
+	}
+
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	// The go command runs the tool over every dependency with
+	// VetxOnly=true so that fact-producing analyzers can see upstream
+	// packages. These analyzers produce no facts, so dependencies only
+	// need the (empty) vetx file.
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := checkPackage(cfg, selected)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	return 2
+}
+
+func parseBoolFlag(arg string) (name string, val bool, ok bool) {
+	arg = strings.TrimPrefix(arg, "-")
+	arg = strings.TrimPrefix(arg, "-") // tolerate --name
+	name, s, hasVal := strings.Cut(arg, "=")
+	if !hasVal {
+		return name, true, true
+	}
+	switch s {
+	case "true", "1":
+		return name, true, true
+	case "false", "0":
+		return name, false, true
+	}
+	return "", false, false
+}
+
+func anyExplicitTrue(m map[string]*bool) bool {
+	for _, v := range m {
+		if v != nil && *v {
+			return true
+		}
+	}
+	return false
+}
+
+// versionLine matches the format cmd/go's toolID parser accepts for a
+// development tool: "name version devel ... buildID=<content-id>". The
+// content ID hashes the executable so rebuilding the tool (new or changed
+// analyzers) invalidates `go vet`'s result cache.
+func versionLine(progname string) string {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	return fmt.Sprintf("%s version devel buildID=%s", progname, id)
+}
+
+// flagsJSON describes the tool's flags in the JSON shape `go vet`
+// expects from `tool -flags`: one boolean flag per analyzer.
+func flagsJSON(analyzers []*analysis.Analyzer) string {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	descs := make([]flagDesc, 0, len(analyzers))
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: summary})
+	}
+	out, err := json.Marshal(descs)
+	if err != nil {
+		return "[]"
+	}
+	return string(out)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if cfg.ImportPath == "" {
+		cfg.ImportPath = cfg.ID
+	}
+	return cfg, nil
+}
+
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	// No facts: an empty file is a complete serialization.
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// Diag is one rendered diagnostic.
+type Diag struct {
+	Position token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// checkPackage parses and type-checks the unit and runs the analyzers.
+func checkPackage(cfg *Config, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tcfg := &types.Config{
+		Importer:  mappedImporter{m: cfg.ImportMap, next: base},
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, buildArch()),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diag
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			pos.Filename = relativeTo(pos.Filename, cfg.Dir)
+			diags = append(diags, Diag{Position: pos, Message: d.Message, Analyzer: d.Analyzer})
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// relativeTo shortens absolute file names to be relative to the working
+// directory `go vet` launched the tool in, matching cmd/vet output.
+func relativeTo(filename, dir string) string {
+	if dir == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// mappedImporter resolves source-level import paths through the unit's
+// ImportMap (vendoring, test variants) before loading export data.
+type mappedImporter struct {
+	m    map[string]string
+	next types.Importer
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.next.Import(path)
+}

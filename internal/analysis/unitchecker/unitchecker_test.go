@@ -1,0 +1,181 @@
+package unitchecker_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cmd/spartanvet into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "spartanvet")
+	cmd := exec.Command("go", "build", "-o", tool, "repro/cmd/spartanvet")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spartanvet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	// This test file lives at internal/analysis/unitchecker.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(wd)))
+}
+
+// TestVersionProtocol checks the -V=full handshake cmd/go performs for
+// build caching: "name version devel ... buildID=<content-id>".
+func TestVersionProtocol(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	line := strings.TrimSpace(string(out))
+	if !regexp.MustCompile(`^spartanvet version devel .*buildID=[0-9a-f]+$`).MatchString(line) {
+		t.Fatalf("-V=full output %q does not match the cmd/go toolID grammar", line)
+	}
+}
+
+// TestFlagsProtocol checks `tool -flags` prints the JSON flag catalogue
+// cmd/go parses before constructing the vet command line.
+func TestFlagsProtocol(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON shape cmd/go expects: %v\n%s", err, out)
+	}
+	want := map[string]bool{"floatcmp": true, "spanfinish": true, "lockbalance": true, "errcheckio": true, "metricname": true}
+	for _, f := range flags {
+		delete(want, f.Name)
+		if !f.Bool {
+			t.Errorf("flag %s must be boolean", f.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing analyzer flags: %v", want)
+	}
+}
+
+// TestGoVetFindsSeededViolations runs the real `go vet -vettool` pipeline
+// over a scratch module seeded with one violation per analyzer and
+// checks each one surfaces — the end-to-end proof that the suite fails
+// on seed-style code.
+func TestGoVetFindsSeededViolations(t *testing.T) {
+	tool := buildTool(t)
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixture\n\ngo 1.22\n")
+	write("cart/cart.go", `package cart
+
+func Same(a, b float64) bool { return a == b }
+`)
+	write("obs/obs.go", `package obs
+
+import "sync"
+
+type R struct{ mu sync.Mutex }
+
+func (r *R) Touch() { r.mu.Lock() }
+`)
+	write("codec/codec.go", `package codec
+
+import "bufio"
+
+func Emit(w *bufio.Writer) { w.WriteByte(0) }
+`)
+	write("pipeline/pipeline.go", `package pipeline
+
+type Span struct{}
+
+func (s *Span) Finish() {}
+
+type Trace struct{}
+
+func (t *Trace) Start(string) *Span { return &Span{} }
+
+func Leak(tr *Trace) { tr.Start("compress") }
+`)
+	write("metrics/metrics.go", `package metrics
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) int { return 0 }
+
+func Register(r *Registry) { _ = r.Counter("bad-name", "help") }
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet succeeded on seeded violations; stderr:\n%s", stderr.String())
+	}
+	got := stderr.String()
+	for _, wantFrag := range []string{
+		"[floatcmp]", "[lockbalance]", "[errcheckio]", "[spanfinish]", "[metricname]",
+	} {
+		if !strings.Contains(got, wantFrag) {
+			t.Errorf("go vet output missing a %s finding:\n%s", wantFrag, got)
+		}
+	}
+}
+
+// TestGoVetCleanModule checks the other half of the contract: a module
+// with no violations passes `go vet -vettool` with exit status 0.
+func TestGoVetCleanModule(t *testing.T) {
+	tool := buildTool(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module clean\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cart"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	src := `package cart
+
+import "math"
+
+func Same(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "cart", "cart.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, stderr.String())
+	}
+}

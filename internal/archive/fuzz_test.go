@@ -1,0 +1,60 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// FuzzDecodeArchive asserts the archive reader never panics on corrupted
+// bytes: every input must either decode to a valid table or fail with an
+// error. Run with `go test -fuzz=FuzzDecodeArchive ./internal/archive`
+// for real fuzzing; the seed corpus runs as a normal test.
+func FuzzDecodeArchive(f *testing.F) {
+	// Seed with a valid two-block archive plus targeted corruptions.
+	tb := datagen.CDR(600, 1)
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf, core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for lo := 0; lo < tb.NumRows(); lo += 300 {
+		rows := make([]int, 0, 300)
+		for r := lo; r < lo+300 && r < tb.NumRows(); r++ {
+			rows = append(rows, r)
+		}
+		block, err := tb.SelectRows(rows)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := aw.WriteBlock(block); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))               // header only, no terminator
+	f.Add(valid[:len(valid)/2])        // truncated mid-block
+	f.Add(valid[:len(valid)-1])        // missing terminator byte
+	f.Add(append([]byte(nil), 'X', 0)) // wrong magic
+	flipped := append([]byte(nil), valid...)
+	flipped[len(magic)] ^= 0xFF // corrupt the first block-length varint
+	f.Add(flipped)
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 0xFF // corrupt block payload
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := ReadAll(bytes.NewReader(data))
+		if err == nil && tbl == nil {
+			t.Error("ReadAll returned nil table without error")
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -296,7 +297,7 @@ func TestLosslessToleranceZero(t *testing.T) {
 	}
 	rec := m.Reconstruct(tb, nil)
 	for r := 0; r < tb.NumRows(); r++ {
-		if rec.Floats[r] != tb.Float(r, 1) {
+		if !floats.SameBits(rec.Floats[r], tb.Float(r, 1)) {
 			t.Fatalf("lossless reconstruction differs at row %d", r)
 		}
 	}
@@ -386,7 +387,7 @@ func TestModelEncodeDecodeRoundTrip(t *testing.T) {
 		for r := 0; r < tb.NumRows(); r++ {
 			f1, c1 := m.PredictRow(tb, r)
 			f2, c2 := got.PredictRow(tb, r)
-			if f1 != f2 || c1 != c2 {
+			if !floats.SameBits(f1, f2) || c1 != c2 {
 				t.Fatalf("row %d prediction differs after round trip", r)
 			}
 		}
@@ -458,22 +459,22 @@ func TestContainsCode(t *testing.T) {
 func TestCostModel(t *testing.T) {
 	tb := paperTable(t)
 	cm := NewCostModel(tb)
-	if cm.ValueBits(colAge) != 32 {
+	if !floats.SameBits(cm.ValueBits(colAge), 32) {
 		t.Errorf("numeric ValueBits = %g, want 32", cm.ValueBits(colAge))
 	}
-	if cm.ValueBits(colCredit) != 1 {
+	if !floats.SameBits(cm.ValueBits(colCredit), 1) {
 		t.Errorf("2-value categorical ValueBits = %g, want 1", cm.ValueBits(colCredit))
 	}
-	if cm.MaterCost(colAge) != 8*32 {
+	if !floats.SameBits(cm.MaterCost(colAge), 8*32) {
 		t.Errorf("MaterCost = %g, want 256", cm.MaterCost(colAge))
 	}
 	// Outlier = row id (3 bits for 8 rows) + value.
-	if cm.OutlierBits(colAge) != 3+32 {
+	if !floats.SameBits(cm.OutlierBits(colAge), 3+32) {
 		t.Errorf("OutlierBits = %g, want 35", cm.OutlierBits(colAge))
 	}
 	m := &Model{Target: colAge, TargetKind: table.Numeric,
 		Root: &Node{Leaf: true, NumValue: 1}}
-	if got := cm.PredCost(m); got != cm.LeafBits(colAge) {
+	if got := cm.PredCost(m); !floats.SameBits(got, cm.LeafBits(colAge)) {
 		t.Errorf("PredCost(single leaf) = %g, want %g", got, cm.LeafBits(colAge))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -165,7 +166,7 @@ func (b *treeBuilder) numericSplitGini(rows []int, y []int, nc, attr int) (candi
 		ps[i] = pair{b.t.Float(r, attr), y[i]}
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
-	if ps[0].x == ps[n-1].x {
+	if floats.SameBits(ps[0].x, ps[n-1].x) {
 		return candidateSplit{}, false
 	}
 	totals := make([]int, nc)
@@ -179,7 +180,7 @@ func (b *treeBuilder) numericSplitGini(rows []int, y []int, nc, attr int) (candi
 	for k := 1; k < n; k++ {
 		leftCounts[ps[k-1].y]++
 		rightCounts[ps[k-1].y]--
-		if ps[k-1].x == ps[k].x {
+		if floats.SameBits(ps[k-1].x, ps[k].x) {
 			continue
 		}
 		if k < b.cfg.MinLeafRows || n-k < b.cfg.MinLeafRows {
@@ -190,7 +191,7 @@ func (b *treeBuilder) numericSplitGini(rows []int, y []int, nc, attr int) (candi
 		if score < best.score {
 			best.score = score
 			// float32 wire format; see numericSplitSSE.
-			best.value = float64(float32((ps[k-1].x + ps[k].x) / 2))
+			best.value = floats.F32((ps[k-1].x + ps[k].x) / 2)
 			found = true
 		}
 	}
@@ -241,7 +242,7 @@ func (b *treeBuilder) categoricalSplitGini(rows []int, y []int, nc, attr int) (c
 	sort.Slice(gs, func(i, j int) bool {
 		pi := float64(gs[i].counts[majorityClass]) / float64(gs[i].n)
 		pj := float64(gs[j].counts[majorityClass]) / float64(gs[j].n)
-		if pi != pj {
+		if !floats.SameBits(pi, pj) {
 			return pi < pj
 		}
 		return gs[i].code < gs[j].code

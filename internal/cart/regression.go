@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -46,7 +47,7 @@ func (b *treeBuilder) leafStatsRegression(rows []int) (pred float64, outliers in
 	// the outlier scan sees exactly the prediction the decompressor will
 	// compute. Rows the rounding pushes past the bound simply become
 	// outliers.
-	pred = float64(float32((vals[bestLo] + vals[hiIdx]) / 2))
+	pred = floats.F32((vals[bestLo] + vals[hiIdx]) / 2)
 	return pred, len(vals) - bestCount
 }
 
@@ -145,7 +146,7 @@ func (b *treeBuilder) bestSplitSSE(rows []int, y []float64) (candidateSplit, boo
 			s, ok = b.categoricalSplitSSE(rows, y, attr)
 		}
 		if ok && (s.score < best.score ||
-			(s.score == best.score && found && s.attr < best.attr)) {
+			(floats.SameBits(s.score, best.score) && found && s.attr < best.attr)) {
 			best = s
 			found = true
 		}
@@ -165,7 +166,7 @@ func (b *treeBuilder) numericSplitSSE(rows []int, y []float64, attr int) (candid
 		ps[i] = pair{b.t.Float(r, attr), y[i]}
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
-	if ps[0].x == ps[n-1].x {
+	if floats.SameBits(ps[0].x, ps[n-1].x) {
 		return candidateSplit{}, false
 	}
 	sum, sumsq := 0.0, 0.0
@@ -179,7 +180,7 @@ func (b *treeBuilder) numericSplitSSE(rows []int, y []float64, attr int) (candid
 	for k := 1; k < n; k++ {
 		sum += ps[k-1].y
 		sumsq += ps[k-1].y * ps[k-1].y
-		if ps[k-1].x == ps[k].x {
+		if floats.SameBits(ps[k-1].x, ps[k].x) {
 			continue // not a realizable threshold
 		}
 		if k < b.cfg.MinLeafRows || n-k < b.cfg.MinLeafRows {
@@ -192,7 +193,7 @@ func (b *treeBuilder) numericSplitSSE(rows []int, y []float64, attr int) (candid
 			best.score = score
 			// Thresholds live as float32 on the wire; rounding here keeps
 			// build-time and decode-time routing identical.
-			best.value = float64(float32((ps[k-1].x + ps[k].x) / 2))
+			best.value = floats.F32((ps[k-1].x + ps[k].x) / 2)
 			found = true
 		}
 	}
@@ -229,7 +230,7 @@ func (b *treeBuilder) categoricalSplitSSE(rows []int, y []float64, attr int) (ca
 	}
 	sort.Slice(gs, func(i, j int) bool {
 		mi, mj := gs[i].sum/float64(gs[i].n), gs[j].sum/float64(gs[j].n)
-		if mi != mj {
+		if !floats.SameBits(mi, mj) {
 			return mi < mj
 		}
 		return gs[i].code < gs[j].code

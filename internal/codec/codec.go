@@ -53,7 +53,7 @@ func Encode(w io.Writer, src *table.Table, materialized []int, models []*cart.Mo
 
 	var header bytes.Buffer
 	hw := bufio.NewWriter(&header)
-	header.WriteString(magic)
+	_, _ = header.WriteString(magic) // bytes.Buffer writes cannot fail
 	if err := writeSchema(hw, src); err != nil {
 		return bd, err
 	}
@@ -102,7 +102,7 @@ func Encode(w io.Writer, src *table.Table, materialized []int, models []*cart.Mo
 	}
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(modelBuf.Bytes()))
-	modelHdr.Write(crcBuf[:])
+	_, _ = modelHdr.Write(crcBuf[:]) // bytes.Buffer writes cannot fail
 	bd.ModelBytes = modelHdr.Len() + modelBuf.Len()
 
 	var tprime bytes.Buffer

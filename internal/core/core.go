@@ -186,134 +186,164 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	// DependencyFinder: Bayesian network on a sample. A quarter of the
 	// sample budget is held out for honest prediction-cost estimates
 	// during selection.
-	sp := root.StartChild(SpanDependencyFinder)
-	sample := t.SampleBytes(opts.SampleBytes, rng)
-	build, holdout := splitSample(sample)
-	net, err := bayesnet.Build(sample, bayesnet.Config{MaxParents: 6})
+	var (
+		sample, build, holdout *table.Table
+		net                    *bayesnet.Network
+	)
+	err = runPhase(root, SpanDependencyFinder, &stats.Timings.DependencyFinder, func(sp *obs.Span) error {
+		sample = t.SampleBytes(opts.SampleBytes, rng)
+		build, holdout = splitSample(sample)
+		var err error
+		net, err = bayesnet.Build(sample, bayesnet.Config{MaxParents: 6})
+		if err != nil {
+			return fmt.Errorf("spartan: dependency finder: %w", err)
+		}
+		sp.SetAttr("sample_rows", sample.NumRows()).
+			SetAttr("sample_budget_bytes", opts.SampleBytes)
+		return nil
+	})
 	if err != nil {
-		sp.Finish()
-		return nil, fmt.Errorf("spartan: dependency finder: %w", err)
+		return nil, err
 	}
-	sp.SetAttr("sample_rows", sample.NumRows()).
-		SetAttr("sample_budget_bytes", opts.SampleBytes)
-	sp.Finish()
-	stats.Timings.DependencyFinder = sp.Duration()
 
 	// CaRTSelector. Materialization costs are estimated by entropy-coding
 	// the sample's columns, so the MaterCost-vs-PredCost trade-off matches
 	// what the T' encoder actually achieves.
-	sp = root.StartChild(SpanCaRTSelection)
-	cost := cart.NewCostModel(t)
-	for i, bits := range estimateMaterBits(sample) {
-		cost.SetMaterBits(i, bits)
-	}
-	in := selector.Input{
-		Sample:  build,
-		Holdout: holdout,
-		Tol:     resolved,
-		Net:     net,
-		Cost:    cost,
-		CartCfg: cart.Config{FullRows: t.NumRows(), Prune: opts.Prune},
-	}
 	var plan *selector.Result
-	switch opts.Selection {
-	case SelectGreedy:
-		plan, err = selector.Greedy(in, opts.Theta)
-	case SelectWMISMarkov:
-		plan, err = selector.MaxIndependentSet(in, selector.MarkovBlanket)
-	default:
-		plan, err = selector.MaxIndependentSet(in, selector.Parents)
-	}
+	err = runPhase(root, SpanCaRTSelection, &stats.Timings.CaRTSelection, func(sp *obs.Span) error {
+		cost := cart.NewCostModel(t)
+		for i, bits := range estimateMaterBits(sample) {
+			cost.SetMaterBits(i, bits)
+		}
+		in := selector.Input{
+			Sample:  build,
+			Holdout: holdout,
+			Tol:     resolved,
+			Net:     net,
+			Cost:    cost,
+			CartCfg: cart.Config{FullRows: t.NumRows(), Prune: opts.Prune},
+		}
+		var err error
+		switch opts.Selection {
+		case SelectGreedy:
+			plan, err = selector.Greedy(in, opts.Theta)
+		case SelectWMISMarkov:
+			plan, err = selector.MaxIndependentSet(in, selector.MarkovBlanket)
+		default:
+			plan, err = selector.MaxIndependentSet(in, selector.Parents)
+		}
+		if err != nil {
+			return fmt.Errorf("spartan: CaRT selection: %w", err)
+		}
+		stats.CartsBuilt = plan.CartsBuilt
+		for _, a := range plan.Predicted {
+			stats.Predicted = append(stats.Predicted, t.Attr(a).Name)
+		}
+		for _, a := range plan.Materialized {
+			stats.Materialized = append(stats.Materialized, t.Attr(a).Name)
+		}
+		sp.SetAttr("strategy", opts.Selection.String()).
+			SetAttr("carts_built", plan.CartsBuilt).
+			SetAttr("predicted", len(plan.Predicted)).
+			SetAttr("materialized", len(plan.Materialized))
+		return nil
+	})
 	if err != nil {
-		sp.Finish()
-		return nil, fmt.Errorf("spartan: CaRT selection: %w", err)
+		return nil, err
 	}
-	stats.CartsBuilt = plan.CartsBuilt
-	for _, a := range plan.Predicted {
-		stats.Predicted = append(stats.Predicted, t.Attr(a).Name)
-	}
-	for _, a := range plan.Materialized {
-		stats.Materialized = append(stats.Materialized, t.Attr(a).Name)
-	}
-	sp.SetAttr("strategy", opts.Selection.String()).
-		SetAttr("carts_built", plan.CartsBuilt).
-		SetAttr("predicted", len(plan.Predicted)).
-		SetAttr("materialized", len(plan.Materialized))
-	sp.Finish()
-	stats.Timings.CaRTSelection = sp.Duration()
 
 	// RowAggregator: fascicle-quantize the materialized projection without
 	// crossing any CaRT split value.
-	sp = root.StartChild(SpanRowAggregation)
 	applyTable := t
-	if !opts.DisableRowAggregation && len(plan.Materialized) > 0 {
-		applyTable, stats.Fascicles, err = rowAggregate(t, plan, resolved, opts)
-		if err != nil {
-			sp.Finish()
-			return nil, fmt.Errorf("spartan: row aggregation: %w", err)
+	err = runPhase(root, SpanRowAggregation, &stats.Timings.RowAggregation, func(sp *obs.Span) error {
+		if !opts.DisableRowAggregation && len(plan.Materialized) > 0 {
+			var err error
+			applyTable, stats.Fascicles, err = rowAggregate(t, plan, resolved, opts)
+			if err != nil {
+				return fmt.Errorf("spartan: row aggregation: %w", err)
+			}
 		}
+		sp.SetAttr("fascicles", stats.Fascicles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sp.SetAttr("fascicles", stats.Fascicles)
-	sp.Finish()
-	stats.Timings.RowAggregation = sp.Duration()
 
 	// Outlier scan: one pass over the full table per model (paper §2.3:
 	// "SPARTAN then uses the CaRTs built to compress the full data set in
 	// one pass").
-	sp = root.StartChild(SpanOutlierScan)
 	models := make([]*cart.Model, len(plan.Predicted))
-	scanErrs := make([]error, len(plan.Predicted))
-	var wg sync.WaitGroup
-	for i, a := range plan.Predicted {
-		wg.Add(1)
-		go func(i, a int) {
-			defer wg.Done()
-			m := plan.Models[a]
-			var perClass map[int32]float64
-			if t.Attr(a).Kind == table.Categorical {
-				perClass = resolved[a].ClassBudgets(t.Col(a).Dict)
-			}
-			scanErrs[i] = m.ComputeOutliersBudget(applyTable, resolved[a].Value, perClass)
-			models[i] = m
-		}(i, a)
-	}
-	wg.Wait()
-	for _, err := range scanErrs {
-		if err != nil {
-			sp.Finish()
-			return nil, fmt.Errorf("spartan: outlier scan: %w", err)
+	err = runPhase(root, SpanOutlierScan, &stats.Timings.OutlierScan, func(sp *obs.Span) error {
+		scanErrs := make([]error, len(plan.Predicted))
+		var wg sync.WaitGroup
+		for i, a := range plan.Predicted {
+			wg.Add(1)
+			go func(i, a int) {
+				defer wg.Done()
+				m := plan.Models[a]
+				var perClass map[int32]float64
+				if t.Attr(a).Kind == table.Categorical {
+					perClass = resolved[a].ClassBudgets(t.Col(a).Dict)
+				}
+				scanErrs[i] = m.ComputeOutliersBudget(applyTable, resolved[a].Value, perClass)
+				models[i] = m
+			}(i, a)
 		}
+		wg.Wait()
+		for _, err := range scanErrs {
+			if err != nil {
+				return fmt.Errorf("spartan: outlier scan: %w", err)
+			}
+		}
+		for _, m := range models {
+			stats.Outliers += len(m.Outliers)
+		}
+		sp.SetAttr("rows_scanned", t.NumRows()*len(plan.Predicted)).
+			SetAttr("outliers", stats.Outliers)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, m := range models {
-		stats.Outliers += len(m.Outliers)
-	}
-	sp.SetAttr("rows_scanned", t.NumRows()*len(plan.Predicted)).
-		SetAttr("outliers", stats.Outliers)
-	sp.Finish()
-	stats.Timings.OutlierScan = sp.Duration()
 
 	// Encode.
-	sp = root.StartChild(SpanEncode)
-	bd, err := codec.Encode(w, applyTable, plan.Materialized, models)
+	err = runPhase(root, SpanEncode, &stats.Timings.Encode, func(sp *obs.Span) error {
+		bd, err := codec.Encode(w, applyTable, plan.Materialized, models)
+		if err != nil {
+			return fmt.Errorf("spartan: encoding: %w", err)
+		}
+		stats.HeaderBytes = bd.HeaderBytes
+		stats.ModelBytes = bd.ModelBytes
+		stats.TPrimeBytes = bd.TPrimeBytes
+		stats.CompressedBytes = bd.Total()
+		if stats.RawBytes > 0 {
+			stats.Ratio = float64(stats.CompressedBytes) / float64(stats.RawBytes)
+		}
+		sp.SetAttr("bytes_written", stats.CompressedBytes).
+			SetAttr("header_bytes", stats.HeaderBytes).
+			SetAttr("model_bytes", stats.ModelBytes).
+			SetAttr("tprime_bytes", stats.TPrimeBytes)
+		return nil
+	})
 	if err != nil {
-		sp.Finish()
-		return nil, fmt.Errorf("spartan: encoding: %w", err)
+		return nil, err
 	}
-	stats.HeaderBytes = bd.HeaderBytes
-	stats.ModelBytes = bd.ModelBytes
-	stats.TPrimeBytes = bd.TPrimeBytes
-	stats.CompressedBytes = bd.Total()
-	if stats.RawBytes > 0 {
-		stats.Ratio = float64(stats.CompressedBytes) / float64(stats.RawBytes)
-	}
-	sp.SetAttr("bytes_written", stats.CompressedBytes).
-		SetAttr("header_bytes", stats.HeaderBytes).
-		SetAttr("model_bytes", stats.ModelBytes).
-		SetAttr("tprime_bytes", stats.TPrimeBytes)
-	sp.Finish()
-	stats.Timings.Encode = sp.Duration()
 	root.SetAttr("ratio", fmt.Sprintf("%.4f", stats.Ratio))
 	return stats, nil
+}
+
+// runPhase runs one pipeline component inside a child span of root. The
+// span's Finish is deferred so an error return (or a panic in fn) can
+// never leak an open span, and the phase's wall-clock time lands in
+// *timing even on failure — partial runs still account their cost.
+func runPhase(root *obs.Span, name string, timing *time.Duration, fn func(sp *obs.Span) error) error {
+	sp := root.StartChild(name)
+	defer func() {
+		sp.Finish()
+		*timing = sp.Duration()
+	}()
+	return fn(sp)
 }
 
 // estimateMaterBits prices each attribute's materialization by running

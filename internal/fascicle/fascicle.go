@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -336,7 +337,7 @@ func growFascicle(t *table.Table, p Params, idx []colIndex, seed int, assigned [
 		// rounding here guards tables assembled via table.New from raw
 		// float64 columns (the member-validation pass below drops any row
 		// the rounding pushes out of bounds).
-		reps[ci] = float64(float32(bestV))
+		reps[ci] = floats.F32(bestV)
 	}
 	valid := rows[:0]
 	for _, r := range rows {

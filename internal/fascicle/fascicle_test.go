@@ -9,6 +9,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -189,7 +190,7 @@ func TestQuantizePreservesOrderAndBounds(t *testing.T) {
 		}
 	}
 	// Categorical column must be untouched.
-	if diffs[2] != 0 {
+	if !floats.SameBits(diffs[2], 0) {
 		t.Error("categorical column changed by quantization")
 	}
 }
@@ -239,7 +240,7 @@ func TestQuantizeErrorBoundProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return diffs[0] <= w+1e-9 && diffs[1] <= w+1e-9 && diffs[2] == 0
+		return diffs[0] <= w+1e-9 && diffs[1] <= w+1e-9 && floats.SameBits(diffs[2], 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
@@ -365,22 +366,22 @@ func TestMinSizeRespected(t *testing.T) {
 func TestClampWindow(t *testing.T) {
 	// Seed below the split: window clamps from above.
 	lo, hi := clampWindow(5, 3, 9, []float64{7})
-	if lo != 3 || hi != 7 {
+	if !floats.SameBits(lo, 3) || !floats.SameBits(hi, 7) {
 		t.Errorf("clampWindow = [%g,%g], want [3,7]", lo, hi)
 	}
 	// Seed above the split: lo must end up strictly greater than 7.
 	lo, hi = clampWindow(8, 5, 11, []float64{7})
-	if !(lo > 7) || hi != 11 {
+	if !(lo > 7) || !floats.SameBits(hi, 11) {
 		t.Errorf("clampWindow = [%g,%g], want (7,11]", lo, hi)
 	}
 	// Seed exactly on the split is on the "≤ v" side.
 	lo, hi = clampWindow(7, 5, 9, []float64{7})
-	if lo != 5 || hi != 7 {
+	if !floats.SameBits(lo, 5) || !floats.SameBits(hi, 7) {
 		t.Errorf("clampWindow = [%g,%g], want [5,7]", lo, hi)
 	}
 	// No splits: unchanged.
 	lo, hi = clampWindow(5, 1, 9, nil)
-	if lo != 1 || hi != 9 {
+	if !floats.SameBits(lo, 1) || !floats.SameBits(hi, 9) {
 		t.Errorf("clampWindow = [%g,%g], want [1,9]", lo, hi)
 	}
 }

@@ -1,0 +1,35 @@
+// Package floats provides explicit float64 comparison helpers.
+//
+// Direct == / != on floating-point values is banned in the numeric
+// packages (cart, fascicle, selector) by the spartanvet floatcmp
+// analyzer: it is too easy to write an equality that silently breaks
+// under accumulated rounding, and when bit-exact equality *is* the
+// intent (tie-breaking, sentinel detection, duplicate-x collapsing),
+// the intent should be visible at the call site. These helpers name
+// the two meanings.
+package floats
+
+import "math"
+
+// SameBits reports whether a and b have identical IEEE-754 bit
+// patterns. It is the deterministic, transitive equality used for
+// tie-breaking and duplicate detection: unlike ==, it treats NaN as
+// equal to an identical NaN and distinguishes +0 from -0, so sorting
+// and grouping decisions based on it are reproducible.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Within reports whether a and b differ by at most tol. It is the
+// tolerance comparison for values that have been through arithmetic;
+// tol must be non-negative. NaN inputs are never within any tolerance.
+func Within(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// F32 rounds v through float32 precision, the quantisation applied to
+// fascicle representative values before they are stored (paper §3.4
+// stores dimension representatives as single-precision floats).
+func F32(v float64) float64 {
+	return float64(float32(v))
+}

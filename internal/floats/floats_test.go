@@ -1,0 +1,56 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSameBits(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{1.5, 1.5000001, false},
+		{0.0, math.Copysign(0, -1), false}, // +0 and -0 are distinct bit patterns
+		{nan, nan, true},                   // identical NaN payloads compare equal
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+	} {
+		if got := SameBits(tc.a, tc.b); got != tc.want {
+			t.Errorf("SameBits(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.1, 0.2, true},
+		{1.0, 1.1, 0.05, false},
+		{-3, 3, 6, true},
+		{math.NaN(), 1, 100, false},
+		{1, math.NaN(), 100, false},
+	} {
+		if got := Within(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("Within(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestF32(t *testing.T) {
+	if got := F32(1.5); got != 1.5 {
+		t.Errorf("F32(1.5) = %v, exactly representable values must round-trip", got)
+	}
+	v := 0.1
+	if got := F32(v); got == v {
+		t.Error("F32(0.1) must lose the double-precision tail")
+	}
+	if got := F32(v); got != float64(float32(v)) {
+		t.Errorf("F32(0.1) = %v, want %v", got, float64(float32(v)))
+	}
+}

@@ -117,8 +117,8 @@ func (c Counter) Add(v float64, labelValues ...string) {
 		panic(fmt.Sprintf("obs: counter %q decreased by %g", c.f.name, v))
 	}
 	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
 	c.f.child(labelValues).value += v
-	c.f.mu.Unlock()
 }
 
 // Gauge is a metric that can go up and down.
@@ -132,15 +132,15 @@ func (r *Registry) Gauge(name, help string, labelNames ...string) Gauge {
 // Set stores v.
 func (g Gauge) Set(v float64, labelValues ...string) {
 	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
 	g.f.child(labelValues).value = v
-	g.f.mu.Unlock()
 }
 
 // Add adjusts the gauge by v (negative to decrease).
 func (g Gauge) Add(v float64, labelValues ...string) {
 	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
 	g.f.child(labelValues).value += v
-	g.f.mu.Unlock()
 }
 
 // Histogram is a fixed-bucket cumulative histogram.
@@ -164,6 +164,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ..
 // Observe records one value.
 func (h Histogram) Observe(v float64, labelValues ...string) {
 	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
 	c := h.f.child(labelValues)
 	// Per-bucket (non-cumulative) counts; rendering cumulates them.
 	for i, ub := range h.f.buckets {
@@ -174,7 +175,6 @@ func (h Histogram) Observe(v float64, labelValues ...string) {
 	}
 	c.sum += v
 	c.count++
-	h.f.mu.Unlock()
 }
 
 // DefBuckets are the conventional latency buckets (seconds), matching the
@@ -205,12 +205,18 @@ func ExponentialBuckets(start, factor float64, count int) []float64 {
 // Families appear in registration order; children are sorted by label
 // values so output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) {
-	r.mu.RLock()
-	families := append([]*family(nil), r.families...)
-	r.mu.RUnlock()
-	for _, f := range families {
+	// The snapshot keeps the registry lock release deferred while the
+	// (possibly slow) writes below run unlocked.
+	for _, f := range r.snapshot() {
 		f.write(w)
 	}
+}
+
+// snapshot copies the family list under the read lock.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*family(nil), r.families...)
 }
 
 func (f *family) write(w io.Writer) {

@@ -76,7 +76,9 @@ func TestReregisterTypeMismatchPanics(t *testing.T) {
 		}
 	}()
 	r := NewRegistry()
+	//spartanvet:ignore metricname distinct fresh registries per test; the panic on this mismatch is the behaviour under test
 	r.Counter("m", "h")
+	//spartanvet:ignore metricname same — the type-mismatch panic is the point
 	r.Gauge("m", "h")
 }
 
@@ -87,6 +89,7 @@ func TestLabelArityPanics(t *testing.T) {
 		}
 	}()
 	r := NewRegistry()
+	//spartanvet:ignore metricname fresh registry; label-arity panic is the behaviour under test
 	r.Counter("m", "h", "a", "b").Inc("only-one")
 }
 

@@ -144,8 +144,8 @@ func (t *Trace) Start(name string) *Span {
 func (t *Trace) start(name string, depth int) *Span {
 	s := &Span{Name: name, Start: time.Now(), Depth: depth, tr: t}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.spans = append(t.spans, s)
-	t.mu.Unlock()
 	return s
 }
 

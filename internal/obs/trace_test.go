@@ -90,6 +90,7 @@ func TestNilSafety(t *testing.T) {
 
 func TestOpenSpanDuration(t *testing.T) {
 	tr := NewTrace("t")
+	//spartanvet:ignore spanfinish the span is deliberately left open to test Duration on a live span
 	s := tr.Start("a")
 	time.Sleep(2 * time.Millisecond)
 	if s.Duration() <= 0 {

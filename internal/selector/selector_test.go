@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bayesnet"
 	"repro/internal/cart"
+	"repro/internal/floats"
 	"repro/internal/table"
 )
 
@@ -87,7 +88,7 @@ func TestPaperExample31Greedy(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantPredicted(t, res, []int{1, 2})
-	if res.EstimatedCost != 405 {
+	if !floats.SameBits(res.EstimatedCost, 405) {
 		t.Errorf("Greedy cost = %g, want 405 (paper Example 3.1)", res.EstimatedCost)
 	}
 }
@@ -102,7 +103,7 @@ func TestPaperExample32MaxIndependentSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantPredicted(t, res, []int{2, 3})
-	if res.EstimatedCost != 345 {
+	if !floats.SameBits(res.EstimatedCost, 345) {
 		t.Errorf("MaxIndependentSet cost = %g, want 345 (paper Example 3.2)", res.EstimatedCost)
 	}
 }

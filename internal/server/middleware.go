@@ -80,6 +80,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		s.m.inFlight.Add(1)
+		// Paired as its own defer (not buried in the closure below) so no
+		// future edit to the recovery path can leak an in-flight count.
+		defer s.m.inFlight.Add(-1)
 		defer func() {
 			// Panic recovery: count it, log the stack, and answer 500 if
 			// the handler had not committed a response yet.
@@ -102,7 +105,6 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 
 			elapsed := time.Since(start)
-			s.m.inFlight.Add(-1)
 			s.m.requests.Inc(route, strconv.Itoa(rec.status))
 			s.m.latency.Observe(elapsed.Seconds(), route)
 			s.m.responseBytes.Add(float64(rec.bytes), route)
