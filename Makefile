@@ -4,18 +4,31 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bin
+.PHONY: check vet lint build test race bench bin sarif
 
 check: vet build race lint
 
 vet:
 	$(GO) vet ./...
 
+# The lint tool is a real file target: it only rebuilds when its sources
+# (the driver, the analysis framework, or any analyzer — fixtures under
+# testdata excluded) change, so a no-op `make lint` costs one `go vet`
+# cache probe instead of a full tool build.
+SPARTANVET_SRCS := $(shell find cmd/spartanvet internal/analysis -name '*.go' -not -path '*/testdata/*') go.mod
+
+bin/spartanvet: $(SPARTANVET_SRCS)
+	$(GO) build -o $@ ./cmd/spartanvet
+
 # lint runs the project's domain-aware analyzers (internal/analysis)
 # through the standard vet driver; any finding fails the target.
-lint:
-	$(GO) build -o bin/spartanvet ./cmd/spartanvet
+lint: bin/spartanvet
 	$(GO) vet -vettool=$(CURDIR)/bin/spartanvet ./...
+
+# sarif aggregates the whole module into one SARIF 2.1.0 log for GitHub
+# code scanning; it reports rather than gates (exit 0 on findings).
+sarif: bin/spartanvet
+	./bin/spartanvet -sarif ./... > spartanvet.sarif
 
 build:
 	$(GO) build ./...

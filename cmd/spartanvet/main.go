@@ -1,7 +1,14 @@
-// Spartanvet is SPARTAN's domain-aware static-analysis suite: five
-// analyzers that encode invariants the Go compiler cannot see (raw float
-// equality on tolerances, unfinished pipeline spans, unbalanced registry
-// locks, swallowed archive-write errors, malformed metric names).
+// Spartanvet is SPARTAN's domain-aware static-analysis suite: nine
+// analyzers that encode invariants the Go compiler cannot see. Five are
+// syntactic (raw float equality on tolerances, unfinished pipeline
+// spans, unbalanced registry locks, swallowed archive-write errors,
+// malformed metric names); four are flow-sensitive, built on the
+// control-flow graphs and dataflow solver in internal/analysis/cfg and
+// internal/analysis/dataflow (values used on proven-error paths, defers
+// accumulating inside per-row loops, WaitGroup Add/Done discipline,
+// hint-less allocations in row-bounded loops). A tenth synthetic check,
+// staleignore, flags //spartanvet:ignore directives that no longer
+// suppress anything.
 //
 // It speaks the `go vet` tool protocol; run it through the go command:
 //
@@ -10,20 +17,33 @@
 //
 // or simply `make lint`. Individual analyzers can be selected the same
 // way as with stock vet: `go vet -vettool=bin/spartanvet -floatcmp ./...`.
-// See docs/DEVELOPMENT.md for the analyzer catalogue and the
-// //spartanvet:ignore suppression syntax.
+//
+// It also runs standalone over package patterns, aggregating the whole
+// module into one report for CI:
+//
+//	bin/spartanvet -sarif ./... > spartanvet.sarif   # GitHub code scanning
+//	bin/spartanvet -json ./...                       # scripting
+//	bin/spartanvet -debug.cfg=EncodeFascicle ./...   # dump a function's CFG
+//
+// See docs/DEVELOPMENT.md for the analyzer catalogue, the
+// //spartanvet:ignore suppression syntax, and a guide to writing new
+// flow-sensitive analyzers.
 package main
 
 import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/deferloop"
 	"repro/internal/analysis/errcheckio"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lockbalance"
 	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/nilflow"
 	"repro/internal/analysis/spanfinish"
 	"repro/internal/analysis/unitchecker"
+	"repro/internal/analysis/wgbalance"
 )
 
 func main() {
@@ -33,5 +53,9 @@ func main() {
 		lockbalance.Analyzer,
 		errcheckio.Analyzer,
 		metricname.Analyzer,
+		nilflow.Analyzer,
+		deferloop.Analyzer,
+		wgbalance.Analyzer,
+		hotalloc.Analyzer,
 	})
 }

@@ -56,13 +56,29 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// SuppressedSink, when non-nil, receives every diagnostic a
+	// //spartanvet:ignore directive swallowed, paired with the directive
+	// that did it. Drivers that emit machine-readable reports (SARIF)
+	// use it to publish suppressed results instead of dropping them.
+	SuppressedSink func(Diagnostic, *Directive)
+
 	report     func(Diagnostic)
-	suppressed suppressionIndex
+	suppressed *Suppressions
 }
 
 // NewPass assembles a pass; report receives every non-suppressed
 // diagnostic. Drivers construct one pass per (package, analyzer) pair.
+// The pass indexes the package's suppression directives privately; a
+// driver that runs several analyzers and wants to detect stale
+// directives afterwards should use NewPassShared instead.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return NewPassShared(a, fset, files, pkg, info, report, IndexSuppressions(fset, files))
+}
+
+// NewPassShared is NewPass with a caller-owned suppression index, so one
+// index can observe every analyzer that runs over the package and then
+// report the directives none of them needed (Suppressions.Stale).
+func NewPassShared(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic), sup *Suppressions) *Pass {
 	return &Pass{
 		Analyzer:   a,
 		Fset:       fset,
@@ -70,17 +86,22 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		Pkg:        pkg,
 		TypesInfo:  info,
 		report:     report,
-		suppressed: indexSuppressions(fset, files),
+		suppressed: sup,
 	}
 }
 
 // Reportf records a finding unless a //spartanvet:ignore directive for
 // this analyzer covers the position's line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.suppressed.covers(p.Fset, pos, p.Analyzer.Name) {
+	d := Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name}
+	if dir := p.suppressed.covering(p.Fset, pos, p.Analyzer.Name); dir != nil {
+		dir.used = true
+		if p.SuppressedSink != nil {
+			p.SuppressedSink(d, dir)
+		}
 		return
 	}
-	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+	p.report(d)
 }
 
 // TypeOf returns the type of e, or nil.
@@ -115,11 +136,34 @@ func (p *Pass) PackageBase(names ...string) bool {
 // mandatory — a bare directive suppresses nothing.
 const IgnoreDirective = "//spartanvet:ignore"
 
-// suppressionIndex maps file → line → analyzer names suppressed there.
-type suppressionIndex map[string]map[int][]string
+// StaleIgnoreName is the pseudo-analyzer name carried by diagnostics
+// about //spartanvet:ignore directives that suppressed nothing. A stale
+// directive hides the next real finding on its line, so it fails lint
+// like any other diagnostic. It cannot itself be suppressed.
+const StaleIgnoreName = "staleignore"
 
-func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
-	idx := suppressionIndex{}
+// Directive is one parsed //spartanvet:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	Analyzer string // analyzer name, or "all"
+	Reason   string
+	used     bool
+}
+
+// Suppressions is the per-package index of ignore directives. It records
+// which directives actually swallowed a diagnostic so drivers can report
+// the stale remainder after every analyzer has run.
+type Suppressions struct {
+	directives []*Directive
+	// byLine maps file → line → directives covering that line.
+	byLine map[string]map[int][]*Directive
+}
+
+// IndexSuppressions parses every //spartanvet:ignore directive in files.
+// A directive covers its own line (trailing-comment style) and the line
+// directly below it (comment-above style).
+func IndexSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	sup := &Suppressions{byLine: map[string]map[int][]*Directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -131,31 +175,68 @@ func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex 
 				if len(fields) < 2 {
 					continue // no reason given: directive is inert
 				}
-				pos := fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					idx[pos.Filename] = byLine
+				dir := &Directive{
+					Pos:      c.Pos(),
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
 				}
-				// Cover the directive's own line (trailing comment) and
-				// the next line (comment-above style).
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], fields[0])
+				sup.directives = append(sup.directives, dir)
+				pos := fset.Position(c.Pos())
+				byLine := sup.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*Directive{}
+					sup.byLine[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], dir)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], dir)
 			}
 		}
 	}
-	return idx
+	return sup
 }
 
-func (idx suppressionIndex) covers(fset *token.FileSet, pos token.Pos, analyzer string) bool {
-	if !pos.IsValid() {
-		return false
+// covering returns the first directive that suppresses analyzer at pos,
+// or nil.
+func (s *Suppressions) covering(fset *token.FileSet, pos token.Pos, analyzer string) *Directive {
+	if s == nil || !pos.IsValid() {
+		return nil
 	}
 	p := fset.Position(pos)
-	for _, name := range idx[p.Filename][p.Line] {
-		if name == analyzer || name == "all" {
-			return true
+	for _, dir := range s.byLine[p.Filename][p.Line] {
+		if dir.Analyzer == analyzer || dir.Analyzer == "all" {
+			return dir
 		}
 	}
-	return false
+	return nil
+}
+
+// Stale reports the directives that suppressed nothing, as diagnostics
+// under StaleIgnoreName. known holds the analyzer names that actually
+// ran: a directive for an analyzer outside that set is not judged (the
+// driver cannot know whether it would have fired). Call it only after
+// every selected analyzer has run over the package; drivers that run a
+// user-selected subset should pass exactly that subset, and "all"
+// directives are judged only when judgeAll is set (i.e. the full suite
+// ran).
+func (s *Suppressions) Stale(known map[string]bool, judgeAll bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.directives {
+		if dir.used {
+			continue
+		}
+		if dir.Analyzer == "all" {
+			if !judgeAll {
+				continue
+			}
+		} else if !known[dir.Analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      dir.Pos,
+			Analyzer: StaleIgnoreName,
+			Message: fmt.Sprintf("unused //spartanvet:ignore %s directive: the analyzer reports nothing on this line; delete the stale suppression",
+				dir.Analyzer),
+		})
+	}
+	return out
 }

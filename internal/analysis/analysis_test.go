@@ -28,7 +28,7 @@ func f() {
 	_ = 3
 }
 `)
-	idx := indexSuppressions(fset, files)
+	idx := IndexSuppressions(fset, files)
 	tf := fset.File(files[0].Pos())
 	for _, tc := range []struct {
 		line int
@@ -40,12 +40,12 @@ func f() {
 		{7, false}, // out of reach
 	} {
 		pos := tf.LineStart(tc.line)
-		if got := idx.covers(fset, pos, "demo"); got != tc.want {
-			t.Errorf("line %d: covers=%v, want %v", tc.line, got, tc.want)
+		if got := idx.covering(fset, pos, "demo") != nil; got != tc.want {
+			t.Errorf("line %d: covered=%v, want %v", tc.line, got, tc.want)
 		}
 	}
 	// A different analyzer name is not covered.
-	if idx.covers(fset, tf.LineStart(4), "other") {
+	if idx.covering(fset, tf.LineStart(4), "other") != nil {
 		t.Error("directive for demo must not cover analyzer other")
 	}
 }
@@ -57,9 +57,9 @@ func f() {
 	_ = 1 //spartanvet:ignore demo
 }
 `)
-	idx := indexSuppressions(fset, files)
+	idx := IndexSuppressions(fset, files)
 	tf := fset.File(files[0].Pos())
-	if idx.covers(fset, tf.LineStart(4), "demo") {
+	if idx.covering(fset, tf.LineStart(4), "demo") != nil {
 		t.Error("a reasonless ignore directive must be inert")
 	}
 }
@@ -79,6 +79,111 @@ func TestPackageBase(t *testing.T) {
 		if got := p.PackageBase(tc.name); got != tc.want {
 			t.Errorf("PackageBase(%q) on %q = %v, want %v", tc.name, tc.path, got, tc.want)
 		}
+	}
+}
+
+// TestStaleDirectives checks both placements: a trailing (end-of-line)
+// directive whose analyzer fires on its line is used; a comment-above
+// directive whose analyzer never fires on the next line is stale.
+func TestStaleDirectives(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo trailing: the analyzer fires here
+	//spartanvet:ignore demo preceding-line: nothing fires below
+	_ = 2
+	//spartanvet:ignore other a directive for an analyzer that did not run
+	_ = 3
+}
+`)
+	a := &Analyzer{Name: "demo"}
+	sup := IndexSuppressions(fset, files)
+	pass := NewPassShared(a, fset, files, types.NewPackage("p", "p"), &types.Info{}, func(Diagnostic) {
+		t.Error("the only report is suppressed; nothing should reach the sink")
+	}, sup)
+	tf := fset.File(files[0].Pos())
+	pass.Reportf(tf.LineStart(4), "suppressed by the trailing directive")
+
+	stale := sup.Stale(map[string]bool{"demo": true}, false)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %+v, want exactly the preceding-line directive", stale)
+	}
+	if got := fset.Position(stale[0].Pos).Line; got != 5 {
+		t.Errorf("stale directive reported at line %d, want 5", got)
+	}
+	if stale[0].Analyzer != StaleIgnoreName {
+		t.Errorf("stale diagnostic analyzer = %q, want %q", stale[0].Analyzer, StaleIgnoreName)
+	}
+}
+
+// TestStaleEndOfLineDirective is the mirror case: a trailing directive
+// with no matching finding on its own line (or the next) is stale.
+func TestStaleEndOfLineDirective(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo end-of-line: nothing fires here
+}
+`)
+	sup := IndexSuppressions(fset, files)
+	// No analyzer reports anything.
+	stale := sup.Stale(map[string]bool{"demo": true}, false)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %+v, want the end-of-line directive", stale)
+	}
+	if got := fset.Position(stale[0].Pos).Line; got != 4 {
+		t.Errorf("stale directive reported at line %d, want 4", got)
+	}
+}
+
+// TestStaleAllDirective: `ignore all` is judged only under a full-suite
+// run (judgeAll), since any analyzer could have been its target.
+func TestStaleAllDirective(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore all blanket suppression that suppresses nothing
+}
+`)
+	sup := IndexSuppressions(fset, files)
+	if got := sup.Stale(map[string]bool{"demo": true}, false); len(got) != 0 {
+		t.Errorf("partial run judged an all-directive: %+v", got)
+	}
+	if got := sup.Stale(map[string]bool{"demo": true}, true); len(got) != 1 {
+		t.Errorf("full run must report the unused all-directive, got %+v", got)
+	}
+}
+
+// TestSuppressedSink: swallowed diagnostics are forwarded with their
+// directive so SARIF emitters can publish them as suppressed results.
+func TestSuppressedSink(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //spartanvet:ignore demo a justified discard
+}
+`)
+	a := &Analyzer{Name: "demo"}
+	sup := IndexSuppressions(fset, files)
+	pass := NewPassShared(a, fset, files, types.NewPackage("p", "p"), &types.Info{}, func(Diagnostic) {
+		t.Error("suppressed diagnostic must not reach the report sink")
+	}, sup)
+	var gotDiag []Diagnostic
+	var gotDir []*Directive
+	pass.SuppressedSink = func(d Diagnostic, dir *Directive) {
+		gotDiag = append(gotDiag, d)
+		gotDir = append(gotDir, dir)
+	}
+	tf := fset.File(files[0].Pos())
+	pass.Reportf(tf.LineStart(4), "swallowed")
+	if len(gotDiag) != 1 || gotDiag[0].Message != "swallowed" {
+		t.Fatalf("suppressed sink diagnostics = %+v", gotDiag)
+	}
+	if gotDir[0].Reason != "a justified discard" {
+		t.Errorf("directive reason = %q", gotDir[0].Reason)
+	}
+	if len(sup.Stale(map[string]bool{"demo": true}, true)) != 0 {
+		t.Error("a directive that swallowed a diagnostic must not be stale")
 	}
 }
 

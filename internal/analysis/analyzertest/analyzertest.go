@@ -62,6 +62,13 @@ func runPackage(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	if len(files) == 0 {
 		t.Fatalf("no fixture files in %s", dir)
 	}
+	// Type-check under the fixture's package-clause name rather than the
+	// directory name, so one analyzer's fixtures can live in their own
+	// directory while still matching a scoped analyzer's PackageBase
+	// (e.g. testdata/src/hotalloc declares `package codec`).
+	if name := files[0].Name.Name; name != "" {
+		pkgPath = name
+	}
 
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -78,12 +85,17 @@ func runPackage(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+	sup := analysis.IndexSuppressions(fset, files)
+	pass := analysis.NewPassShared(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
 		diags = append(diags, d)
-	})
+	}, sup)
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}
+	// Directives for this analyzer that suppressed nothing are findings
+	// too (matched against want comments like real diagnostics), so
+	// fixtures cover the staleness check end to end.
+	diags = append(diags, sup.Stale(map[string]bool{a.Name: true}, false)...)
 
 	wants := collectWants(t, fset, files)
 	for _, d := range diags {

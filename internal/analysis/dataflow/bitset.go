@@ -1,0 +1,84 @@
+package dataflow
+
+// BitSet is a fixed-capacity bit vector used as the abstract state of
+// set-based problems (reaching definitions indexes its Defs slice with
+// it). Operations return fresh sets, matching the immutability contract
+// of Problem.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool {
+	w := i / 64
+	return w < len(s) && s[w]&(1<<(i%64)) != 0
+}
+
+// With returns a copy of s with bit i set.
+func (s BitSet) With(i int) BitSet {
+	out := s.Clone()
+	out[i/64] |= 1 << (i % 64)
+	return out
+}
+
+// Without returns a copy of s with bit i cleared.
+func (s BitSet) Without(i int) BitSet {
+	out := s.Clone()
+	if w := i / 64; w < len(out) {
+		out[w] &^= 1 << (i % 64)
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Union returns s ∪ t.
+func (s BitSet) Union(t BitSet) BitSet {
+	out := s.Clone()
+	for i := range t {
+		out[i] |= t[i]
+	}
+	return out
+}
+
+// Diff returns s − t.
+func (s BitSet) Diff(t BitSet) BitSet {
+	out := s.Clone()
+	for i := range t {
+		out[i] &^= t[i]
+	}
+	return out
+}
+
+// Equal reports element-wise equality (sets must share capacity).
+func (s BitSet) Equal(t BitSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elems returns the indices of the set bits, ascending.
+func (s BitSet) Elems() []int {
+	var out []int
+	for w, bits := range s {
+		for b := 0; bits != 0; b++ {
+			if bits&1 != 0 {
+				out = append(out, w*64+b)
+			}
+			bits >>= 1
+		}
+	}
+	return out
+}

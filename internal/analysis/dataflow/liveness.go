@@ -1,0 +1,173 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/cfg"
+)
+
+// VarSet is the abstract state of the liveness problem: the set of
+// variables whose current value may still be read.
+type VarSet map[*types.Var]bool
+
+func (s VarSet) clone() VarSet {
+	out := make(VarSet, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+// Liveness is the backward may-problem "which variables are live at
+// this point". Live-in at a block includes every variable some path
+// from that block reads before writing.
+type Liveness struct {
+	G   *cfg.CFG
+	Res Result[VarSet]
+
+	info *types.Info
+	use  map[*cfg.Block]VarSet // read before any write in the block
+	def  map[*cfg.Block]VarSet // written in the block
+}
+
+// NewLiveness computes per-block use/def sets and solves to a fixpoint.
+func NewLiveness(g *cfg.CFG, info *types.Info) *Liveness {
+	lv := &Liveness{G: g, info: info, use: map[*cfg.Block]VarSet{}, def: map[*cfg.Block]VarSet{}}
+	for _, b := range g.Blocks {
+		use, def := VarSet{}, VarSet{}
+		for _, n := range b.Nodes {
+			for _, v := range usesOfNode(info, n) {
+				if !def[v] {
+					use[v] = true
+				}
+			}
+			for _, d := range defsOfNode(info, n) {
+				def[d.Var] = true
+			}
+		}
+		lv.use[b] = use
+		lv.def[b] = def
+	}
+	lv.Res = Solve[VarSet](g, lv)
+	return lv
+}
+
+// LiveAt reports whether v may still be read after block b completes.
+func (lv *Liveness) LiveAt(v *types.Var, b *cfg.Block) bool {
+	return lv.Res.Out[b][v]
+}
+
+// Problem implementation: backward may-analysis, empty-set bottom.
+
+func (lv *Liveness) Direction() Direction { return Backward }
+func (lv *Liveness) Boundary() VarSet     { return VarSet{} }
+func (lv *Liveness) Init() VarSet         { return VarSet{} }
+func (lv *Liveness) Join(a, b VarSet) VarSet {
+	out := a.clone()
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+func (lv *Liveness) Equal(a, b VarSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+func (lv *Liveness) Transfer(b *cfg.Block, out VarSet) VarSet {
+	in := out.clone()
+	for v := range lv.def[b] {
+		delete(in, v)
+	}
+	for v := range lv.use[b] {
+		in[v] = true
+	}
+	return in
+}
+
+// usesOfNode collects the variables a CFG node reads. Identifiers in
+// pure store position (the x of `x = ...`) are excluded; everything
+// else — including free variables captured by nested function literals
+// — counts as a read.
+func usesOfNode(info *types.Info, n ast.Node) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	add := func(v *types.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var walkExpr func(e ast.Expr)
+	walkExpr = func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.Ident:
+				if v, ok := info.Uses[m].(*types.Var); ok {
+					add(v)
+				}
+			case *ast.FuncLit:
+				// Captured variables are uses; the literal's own locals
+				// (declared inside its extent) are not.
+				ast.Inspect(m.Body, func(inner ast.Node) bool {
+					if id, ok := inner.(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok {
+							if v.Pos() < m.Pos() || v.Pos() > m.End() {
+								add(v)
+							}
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			walkExpr(rhs)
+		}
+		for _, lhs := range n.Lhs {
+			if _, ok := lhs.(*ast.Ident); ok {
+				continue // pure store
+			}
+			walkExpr(lhs) // x.f = ..., a[i] = ... read x, a, i
+		}
+	case *ast.RangeStmt:
+		walkExpr(n.X)
+	case *ast.IncDecStmt:
+		walkExpr(n.X) // read-modify-write
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						walkExpr(val)
+					}
+				}
+			}
+		}
+	case ast.Expr:
+		walkExpr(n)
+	case ast.Stmt:
+		// Return, send, expr, defer, go, branch...: every contained
+		// expression is a read.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				walkExpr(e)
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}

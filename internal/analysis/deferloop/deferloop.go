@@ -1,0 +1,81 @@
+// Package deferloop flags defer statements whose enclosing block lies
+// on a CFG cycle in internal/fascicle, internal/cart and internal/codec
+// — the packages whose loops iterate per row or per fascicle. A defer
+// runs at function return, not at the end of the iteration that created
+// it, so a per-row `defer f.Close()` accumulates a million open
+// resources before the first one is released. The fix is to hoist the
+// defer out of the loop or wrap the iteration body in a function.
+//
+// Detection is flow-sensitive: the loop membership test is a cycle
+// check on the function's control-flow graph, so irregular loops built
+// from labels and gotos are caught, and a defer in an if-branch that
+// merely *follows* a loop is not.
+package deferloop
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer flags defers that execute once per loop iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "deferloop",
+	Doc: "flag defer inside per-row loops in fascicle, cart and codec\n\n" +
+		"A defer in a loop body releases nothing until the whole function\n" +
+		"returns; over a million-row table that accumulates file handles and\n" +
+		"buffers. Hoist the defer or wrap the loop body in a function.",
+	Run: run,
+}
+
+var scope = []string{"fascicle", "cart", "codec"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkBody(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Cheap pre-scan: most functions have no defers at all.
+	hasDefer := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate function: its own CFG, its own check
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			hasDefer = true
+		}
+		return !hasDefer
+	})
+	if !hasDefer {
+		return
+	}
+
+	g := cfg.New(body)
+	inLoop := g.LoopBlocks()
+	for _, d := range g.Defers {
+		b := g.BlockOf(d.Pos())
+		if b != nil && inLoop[b.Index] {
+			pass.Reportf(d.Pos(), "defer inside a loop runs only when the function returns; each iteration accumulates another pending call — hoist it out of the loop or wrap the body in a function")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package deferloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/deferloop"
+)
+
+func TestDeferloop(t *testing.T) {
+	analyzertest.Run(t, "../testdata", deferloop.Analyzer, "deferloop")
+}

@@ -5,6 +5,15 @@
 // stream and corrupts the archive, which the reader may only notice via
 // a checksum mismatch many blocks later (or, for the header, not at all).
 //
+// internal/server gets a narrower treatment: HTTP handlers there wrap
+// response writers in buffered/compressing writers, where a dropped
+// Flush or Close error means the buffered tail of the response was
+// never delivered, and a dropped io.Copy error truncates a streamed
+// archive mid-body. Only those shapes are flagged in server — the
+// broad any-receiver Write/Encode net stays confined to the wire-format
+// packages, where a handler's best-effort writes to a dead client are
+// routine and not worth annotating.
+//
 // The check fires on statement-position calls whose final result is an
 // error when the callee is a write/flush/close/encode method or a
 // function from an io/encoding/compress package. Assigning the error to
@@ -26,11 +35,18 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errcheckio",
 	Doc: "flag discarded errors on io.Writer/encoding calls in codec and archive\n\n" +
 		"A swallowed short write silently corrupts the archive; check every\n" +
-		"error, or assign it to _ to mark an intentional discard.",
+		"error, or assign it to _ to mark an intentional discard. In server,\n" +
+		"only Flush/Close on buffered writers and io-package functions are\n" +
+		"flagged: those lose the buffered tail of a response.",
 	Run: run,
 }
 
-var scope = []string{"codec", "archive"}
+// broadScope packages get the full any-receiver method net; narrowScope
+// packages only the buffered-writer Flush/Close and io-function checks.
+var (
+	broadScope  = []string{"codec", "archive"}
+	narrowScope = []string{"server"}
+)
 
 // ioMethods are method names whose dropped error is flagged.
 var ioMethods = map[string]bool{
@@ -44,7 +60,8 @@ var ioMethods = map[string]bool{
 var ioPkgPrefixes = []string{"io", "encoding/", "compress/", "bufio"}
 
 func run(pass *analysis.Pass) error {
-	if !pass.PackageBase(scope...) {
+	broad := pass.PackageBase(broadScope...)
+	if !broad && !pass.PackageBase(narrowScope...) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -57,13 +74,69 @@ func run(pass *analysis.Pass) error {
 			if !ok || !returnsError(pass, call) {
 				return true
 			}
-			if name, isIO := ioCallee(pass, call); isIO {
-				pass.Reportf(call.Pos(), "error from %s is discarded; a swallowed short write corrupts the stream — check it (or assign to _ to discard explicitly)", name)
+			if broad {
+				if name, isIO := ioCallee(pass, call); isIO {
+					pass.Reportf(call.Pos(), "error from %s is discarded; a swallowed short write corrupts the stream — check it (or assign to _ to discard explicitly)", name)
+				}
+			} else if name, isIO := bufferedFlushCallee(pass, call); isIO {
+				pass.Reportf(call.Pos(), "error from %s is discarded; the buffered tail of the response is silently lost — check it (or assign to _ to discard explicitly)", name)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// bufferedFlushCallee classifies a call under the narrow server rules:
+// Flush/Close on a buffered or compressing writer (a named type from an
+// io/encoding/compress/bufio package), or any error-returning function
+// from those packages (io.Copy above all).
+func bufferedFlushCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			path := obj.Imported().Path()
+			if ioPkgPath(path) {
+				return path + "." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	if sel.Sel.Name != "Flush" && sel.Sel.Name != "Close" {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !ioPkgPath(named.Obj().Pkg().Path()) {
+		return "", false
+	}
+	// Only concrete writer types carry a buffer to lose. Interface
+	// receivers (io.Closer, io.ReadCloser — think resp.Body.Close())
+	// are routine best-effort closes in handler code, not flush points.
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return "", false
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + sel.Sel.Name, true
+}
+
+// ioPkgPath reports whether path is one of the io/encoding package
+// trees this analyzer watches.
+func ioPkgPath(path string) bool {
+	for _, prefix := range ioPkgPrefixes {
+		if path == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(path, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // returnsError reports whether the call's only or final result is error.
@@ -92,11 +165,8 @@ func ioCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	// Package-level function: io.Copy, binary.Write, gob.Register...
 	if id, ok := sel.X.(*ast.Ident); ok {
 		if obj, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
-			path := obj.Imported().Path()
-			for _, prefix := range ioPkgPrefixes {
-				if path == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(path, prefix) {
-					return path + "." + sel.Sel.Name, true
-				}
+			if path := obj.Imported().Path(); ioPkgPath(path) {
+				return path + "." + sel.Sel.Name, true
 			}
 			return "", false
 		}

@@ -10,3 +10,7 @@ import (
 func TestErrcheckio(t *testing.T) {
 	analyzertest.Run(t, "../testdata", errcheckio.Analyzer, "codec")
 }
+
+func TestErrcheckioServerScope(t *testing.T) {
+	analyzertest.Run(t, "../testdata", errcheckio.Analyzer, "server")
+}

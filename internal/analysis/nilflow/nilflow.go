@@ -1,0 +1,407 @@
+// Package nilflow flags uses of a value on paths where the paired
+// `err != nil` check already proved it invalid. The contract of
+// `v, err := f()` in this codebase is that v is meaningful only when
+// err is nil; the compiler cannot see that, and the two bug shapes that
+// follow from it are path-sensitive:
+//
+//   - dereferencing v *inside* the error branch (`if err != nil {
+//     v.Close() }`), where v is typically nil;
+//   - an error branch that does not terminate (`if err != nil {
+//     log.Print(err) }`) followed by an unconditional deref of v — the
+//     error path falls through into the success path.
+//
+// Both checks resolve v and err through the reaching-definitions
+// analysis of internal/analysis/dataflow, so a reassignment of v
+// between the check and the use correctly ends the suspicion, and an
+// err examined far from its defining call is still paired with the
+// right value.
+//
+// The package also flags `return nil, nil` from functions returning
+// (*T, error): callers in core and selector deref the result after a
+// nil error check, so "no result, no error" must be spelled with a
+// sentinel error or an ok bool instead.
+package nilflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer flags values used on paths where they are provably suspect.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilflow",
+	Doc: "flag uses of a value its paired err != nil branch proved invalid, and return nil, nil\n\n" +
+		"After `v, err := f()`, v must not be dereferenced inside the error\n" +
+		"branch, or after an error branch that falls through; functions\n" +
+		"returning (*T, error) must not return nil, nil.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var fnStack []*ast.FuncType
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fnStack = append(fnStack, n.Type)
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				ast.Inspect(n.Type, walk)
+				if n.Body != nil {
+					for _, st := range n.Body.List {
+						ast.Inspect(st, walk)
+					}
+				}
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			case *ast.FuncLit:
+				fnStack = append(fnStack, n.Type)
+				checkBody(pass, n.Body)
+				for _, st := range n.Body.List {
+					ast.Inspect(st, walk)
+				}
+				fnStack = fnStack[:len(fnStack)-1]
+				return false
+			case *ast.ReturnStmt:
+				if len(fnStack) > 0 {
+					checkNilNilReturn(pass, fnStack[len(fnStack)-1], n)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// checkNilNilReturn flags `return nil, nil` when the enclosing function
+// returns a pointer plus an error: the caller's nil-error check then
+// green-lights a nil deref.
+func checkNilNilReturn(pass *analysis.Pass, fn *ast.FuncType, ret *ast.ReturnStmt) {
+	if fn.Results == nil || len(ret.Results) != 2 {
+		return
+	}
+	for _, r := range ret.Results {
+		id, ok := r.(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			return
+		}
+	}
+	// Resolve the declared result types (a field can bind several
+	// names); the shape must be exactly (pointer, error).
+	var resultTypes []types.Type
+	for _, field := range fn.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.TypeOf(field.Type)
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(resultTypes) != 2 || resultTypes[0] == nil {
+		return
+	}
+	if _, ok := resultTypes[0].Underlying().(*types.Pointer); !ok {
+		return
+	}
+	if !isErrorType(resultTypes[1]) {
+		return
+	}
+	pass.Reportf(ret.Pos(), "return nil, nil from a (*T, error) function: callers that check err and deref the result get a nil pointer — return a sentinel error or add an ok result")
+}
+
+// checkBody runs the flow-sensitive err-branch checks over one function
+// body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Fast path: no `!= nil` comparison, nothing to do.
+	hasNilCmp := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.NEQ && isNilIdent(b.Y) {
+			hasNilCmp = true
+		}
+		return !hasNilCmp
+	})
+	if !hasNilCmp {
+		return
+	}
+
+	g := cfg.New(body)
+	rd := dataflow.NewReachingDefs(g, pass.TypesInfo, nil)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // checked by its own visit
+		}
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ || !isNilIdent(cond.Y) {
+			return true
+		}
+		errIdent, ok := cond.X.(*ast.Ident)
+		if !ok || !isErrorType(pass.TypeOf(errIdent)) {
+			return true
+		}
+		errVar := asVar(pass.TypesInfo.Uses[errIdent])
+		if errVar == nil {
+			return true
+		}
+
+		// Pair err with the values assigned alongside it: the single
+		// reaching definition must be `v, err := call(...)`.
+		defs := rd.DefsAt(errVar, errIdent.Pos())
+		if len(defs) != 1 || defs[0].Site == nil {
+			return true
+		}
+		assign, ok := defs[0].Site.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) < 2 || len(assign.Rhs) != 1 {
+			return true
+		}
+		if _, ok := assign.Rhs[0].(*ast.CallExpr); !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			vIdent, ok := lhs.(*ast.Ident)
+			if !ok || vIdent.Name == "_" {
+				continue
+			}
+			vVar := asVar(pass.TypesInfo.Defs[vIdent])
+			if vVar == nil {
+				vVar = asVar(pass.TypesInfo.Uses[vIdent])
+			}
+			// Skip the error itself: inside the branch err is known
+			// non-nil, so err.Error() is the one deref that is safe.
+			if vVar == nil || vVar == errVar || !nilable(vVar.Type()) {
+				continue
+			}
+			checkErrBranchUses(pass, rd, body, assign, ifStmt, vVar)
+		}
+		return true
+	})
+}
+
+// checkErrBranchUses flags suspect uses of v for one `if err != nil`
+// statement: derefs inside the branch, and derefs after it when the
+// branch can fall through.
+func checkErrBranchUses(pass *analysis.Pass, rd *dataflow.ReachingDefs, body *ast.BlockStmt, assign *ast.AssignStmt, ifStmt *ast.IfStmt, v *types.Var) {
+	report := func(site ast.Node, where string) {
+		// The suspicion ends where v is reassigned: only flag while the
+		// paired definition still reaches the use.
+		if !defReaches(rd, v, assign, site.Pos()) {
+			return
+		}
+		pass.Reportf(site.Pos(), "%s is dereferenced %s, but the err != nil branch proved it invalid — it is nil (or stale) on this path", v.Name(), where)
+	}
+
+	for _, site := range derefSites(pass, ifStmt.Body, v) {
+		report(site, "inside the err != nil branch")
+	}
+
+	// Fall-through: only meaningful without an else (the common log-and-
+	// continue shape), and only when some path through the branch body
+	// reaches the statements after the if.
+	if ifStmt.Else != nil || !fallsThrough(ifStmt.Body) {
+		return
+	}
+	// Scan the remainder of the enclosing syntactic block.
+	encl := enclosingBlock(body, ifStmt)
+	if encl == nil {
+		return
+	}
+	afterIf := false
+	for _, st := range encl.List {
+		if st == ast.Stmt(ifStmt) {
+			afterIf = true
+			continue
+		}
+		if !afterIf {
+			continue
+		}
+		for _, site := range derefSites(pass, st, v) {
+			report(site, "after an err != nil branch that falls through")
+		}
+	}
+}
+
+// fallsThrough reports whether executing body can run off its end: its
+// standalone CFG's exit keeps a predecessor that is not a return,
+// branch, or panic terminator.
+func fallsThrough(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	g := cfg.New(body)
+	exit := g.Blocks[1]
+	reach := g.Reachable()
+	for _, p := range exit.Preds {
+		if !reach[p.Index] {
+			continue
+		}
+		if len(p.Nodes) == 0 {
+			return true // empty join block falling into exit
+		}
+		last := p.Nodes[len(p.Nodes)-1]
+		switch last.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			// Jumped to exit explicitly: not a fall-through. A branch
+			// statement targeting a loop outside this body dead-ends in
+			// the standalone CFG, which is equally "does not fall into
+			// the next statement".
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingBlock finds the syntactic block whose statement list
+// contains ifStmt.
+func enclosingBlock(body *ast.BlockStmt, ifStmt *ast.IfStmt) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if blk, ok := n.(*ast.BlockStmt); ok {
+			for _, st := range blk.List {
+				if st == ast.Stmt(ifStmt) {
+					found = blk
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// defReaches reports whether the given assignment is still a reaching
+// definition of v at pos.
+func defReaches(rd *dataflow.ReachingDefs, v *types.Var, assign *ast.AssignStmt, pos token.Pos) bool {
+	for _, d := range rd.DefsAt(v, pos) {
+		if d.Site == ast.Node(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// derefSites collects the expressions under root that would panic (or
+// misbehave) if v were nil, skipping nested function literals and any
+// region guarded by a fresh `v != nil` / `v == nil` test.
+func derefSites(pass *analysis.Pass, root ast.Node, v *types.Var) []ast.Node {
+	var sites []ast.Node
+	isV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && asVar(pass.TypesInfo.Uses[id]) == v
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			// A nested nil check on v re-establishes the contract;
+			// don't second-guess the guarded region.
+			if mentionsNilCheck(pass, n.Cond, v) {
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			if isV(n.X) {
+				t := v.Type().Underlying()
+				_, isPtr := t.(*types.Pointer)
+				_, isIface := t.(*types.Interface)
+				if isPtr || isIface {
+					sites = append(sites, n)
+				}
+			}
+		case *ast.StarExpr:
+			if isV(n.X) {
+				sites = append(sites, n)
+			}
+		case *ast.IndexExpr:
+			if isV(n.X) {
+				switch v.Type().Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					sites = append(sites, n)
+				case *types.Map:
+					// Reading a nil map is defined; only writes panic.
+					// Writes are caught via AssignStmt below.
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isV(ix.X) {
+					if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+						sites = append(sites, ix)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isV(n.Fun) {
+				sites = append(sites, n)
+			}
+		}
+		return true
+	}
+	ast.Inspect(root, walk)
+	return sites
+}
+
+// mentionsNilCheck reports whether cond compares v against nil.
+func mentionsNilCheck(pass *analysis.Pass, cond ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && (b.Op == token.NEQ || b.Op == token.EQL) {
+			xIsV := func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				return ok && asVar(pass.TypesInfo.Uses[id]) == v
+			}
+			if (xIsV(b.X) && isNilIdent(b.Y)) || (xIsV(b.Y) && isNilIdent(b.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map, *types.Signature, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func asVar(obj types.Object) *types.Var {
+	v, _ := obj.(*types.Var)
+	return v
+}

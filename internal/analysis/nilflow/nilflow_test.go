@@ -1,0 +1,12 @@
+package nilflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/nilflow"
+)
+
+func TestNilflow(t *testing.T) {
+	analyzertest.Run(t, "../testdata", nilflow.Analyzer, "nilflow")
+}

@@ -1,0 +1,126 @@
+package sarif_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/sarif"
+)
+
+func idx(i int) *int { return &i }
+
+func sampleLog() *sarif.Log {
+	return &sarif.Log{
+		Schema:  sarif.SchemaURI,
+		Version: sarif.Version,
+		Runs: []sarif.Run{{
+			Tool: sarif.Tool{Driver: sarif.Driver{
+				Name: "spartanvet",
+				Rules: []sarif.Rule{{
+					ID:               "floatcmp",
+					ShortDescription: &sarif.Multiformat{Text: "flag == on floats"},
+					DefaultConfig:    &sarif.Configuration{Level: "warning"},
+				}},
+			}},
+			Results: []sarif.Result{{
+				RuleID:    "floatcmp",
+				RuleIndex: idx(0),
+				Level:     "warning",
+				Message:   sarif.Message{Text: "== compares floats"},
+				Locations: []sarif.Location{{PhysicalLocation: sarif.PhysicalLocation{
+					ArtifactLocation: sarif.ArtifactLocation{URI: "internal/core/outlier.go"},
+					Region:           &sarif.Region{StartLine: 42, StartColumn: 7},
+				}}},
+			}},
+		}},
+	}
+}
+
+func TestMarshalValidates(t *testing.T) {
+	data, err := sampleLog().Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := sarif.Validate(data); err != nil {
+		t.Fatalf("Validate rejected emitter output: %v\n%s", err, data)
+	}
+	for _, want := range []string{`"2.1.0"`, `"ruleId": "floatcmp"`, `"startLine": 42`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}
+
+func TestValidateEmptyResults(t *testing.T) {
+	log := sampleLog()
+	log.Runs[0].Results = []sarif.Result{}
+	data, _ := log.Marshal()
+	// A clean run must still carry `"results": []`, which GitHub uses to
+	// close previously reported alerts.
+	if !strings.Contains(string(data), `"results": []`) {
+		t.Fatalf("empty results array was dropped from output:\n%s", data)
+	}
+	if err := sarif.Validate(data); err != nil {
+		t.Fatalf("Validate rejected clean run: %v", err)
+	}
+}
+
+func TestValidateSuppressions(t *testing.T) {
+	log := sampleLog()
+	log.Runs[0].Results[0].Suppressions = []sarif.Suppression{
+		{Kind: "inSource", Justification: "sentinel comparison"},
+	}
+	data, _ := log.Marshal()
+	if err := sarif.Validate(data); err != nil {
+		t.Fatalf("Validate rejected suppressed result: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*sarif.Log)
+		wantErr string
+	}{
+		{"wrong version", func(l *sarif.Log) { l.Version = "2.0.0" }, "version"},
+		{"missing driver name", func(l *sarif.Log) { l.Runs[0].Tool.Driver.Name = "" }, "driver.name"},
+		{"missing message", func(l *sarif.Log) { l.Runs[0].Results[0].Message.Text = "" }, "message.text"},
+		{"bad level", func(l *sarif.Log) { l.Runs[0].Results[0].Level = "severe" }, "level"},
+		{"undeclared rule", func(l *sarif.Log) { l.Runs[0].Results[0].RuleID = "ghost" }, "not declared"},
+		{"rule index mismatch", func(l *sarif.Log) { l.Runs[0].Results[0].RuleIndex = idx(3) }, "ruleIndex"},
+		{"zero start line", func(l *sarif.Log) {
+			l.Runs[0].Results[0].Locations[0].PhysicalLocation.Region.StartLine = 0
+		}, "startLine"},
+		{"missing uri", func(l *sarif.Log) {
+			l.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI = ""
+		}, "uri"},
+		{"bad suppression kind", func(l *sarif.Log) {
+			l.Runs[0].Results[0].Suppressions = []sarif.Suppression{{Kind: "manual"}}
+		}, "suppression"},
+		{"nil runs", func(l *sarif.Log) { l.Runs = nil }, "runs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := sampleLog()
+			tc.mutate(log)
+			data, err := log.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			err = sarif.Validate(data)
+			if err == nil {
+				t.Fatalf("Validate accepted invalid log:\n%s", data)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateUnknownField(t *testing.T) {
+	data := []byte(`{"$schema":"s","version":"2.1.0","runs":[],"extra":1}`)
+	if err := sarif.Validate(data); err == nil {
+		t.Fatal("Validate accepted a document with an unknown field")
+	}
+}

@@ -1,0 +1,101 @@
+// Fixture for the hotalloc analyzer: hint-less allocations in
+// row-bounded loops. Declared as package codec so the analyzer's
+// package scope applies.
+package codec
+
+func sink(...interface{}) {}
+
+// appendNoHint grows a zero-capacity slice once per row.
+func appendNoHint(rows []int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r*2) // want "created without a capacity hint"
+	}
+	return out
+}
+
+// appendHinted pre-sizes the slice: amortized zero reallocations.
+func appendHinted(rows []int) []int {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r*2)
+	}
+	return out
+}
+
+// rehinted starts hint-less but is re-made with capacity before the
+// loop; only the hinted definition reaches the append.
+func rehinted(rows []int) []int {
+	var out []int
+	out = make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// mapNoHint rehashes as it fills.
+func mapNoHint(rows []int) map[int]bool {
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		seen[r] = true // want "created without a size hint"
+	}
+	return seen
+}
+
+// mapHinted passes the expected count to make.
+func mapHinted(rows []int) map[int]bool {
+	seen := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		seen[r] = true
+	}
+	return seen
+}
+
+// makeInLoop allocates a fresh hint-less buffer every iteration.
+func makeInLoop(rows []int) {
+	for _, r := range rows {
+		buf := make([]byte, 0) // want "hint-less slice on every iteration"
+		buf = append(buf, byte(r))
+		sink(buf)
+	}
+}
+
+// constBound loops a fixed eight times: not row-bounded, growth is
+// cheap and bounded.
+func constBound() []int {
+	var out []int
+	for i := 0; i < 8; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// dataBoundFor counts to a runtime bound: equivalent to ranging over
+// the rows.
+func dataBoundFor(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "created without a capacity hint"
+	}
+	return out
+}
+
+// createdInLoop builds a small per-iteration slice; the creation is
+// inside the loop, so the growth resets every pass and is not flagged.
+func createdInLoop(rows []int) {
+	for _, r := range rows {
+		pair := []int{r}
+		pair = append(pair, r*2)
+		sink(pair)
+	}
+}
+
+// paramSlice appends to a caller-owned slice: the caller may well have
+// pre-sized it, so the analyzer stays quiet.
+func paramSlice(dst []int, rows []int) []int {
+	for _, r := range rows {
+		dst = append(dst, r)
+	}
+	return dst
+}

@@ -1,0 +1,118 @@
+// Fixture for the nilflow analyzer: uses of a value on paths where the
+// paired err != nil check proved it invalid.
+package nilflow
+
+import "errors"
+
+type conn struct{ open bool }
+
+func (c *conn) Close() error { return nil }
+
+func dial() (*conn, error)   { return nil, errors.New("down") }
+func redial() (*conn, error) { return &conn{}, nil }
+func logf(...interface{})    {}
+
+// lookup returning a nil map with a nil error is fine: reading a nil
+// map is well defined, so only pointer results are held to the rule.
+func lookup() (map[string]int, error) { return nil, nil }
+
+// derefInBranch closes the connection inside the branch that just
+// proved the dial failed: c is nil there.
+func derefInBranch() error {
+	c, err := dial()
+	if err != nil {
+		c.Close() // want "inside the err != nil branch"
+		return err
+	}
+	return c.Close()
+}
+
+// fallThrough logs the error but keeps going; the deref below then runs
+// on the failure path too.
+func fallThrough() {
+	c, err := dial()
+	if err != nil {
+		logf("dial failed:", err)
+	}
+	c.Close() // want "after an err != nil branch that falls through"
+}
+
+// earlyReturn is the idiomatic shape: the error branch leaves the
+// function, so the deref below only runs on success.
+func earlyReturn() error {
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// guardedInBranch re-checks c before touching it; the analyzer trusts
+// the explicit nil test.
+func guardedInBranch() error {
+	c, err := dial()
+	if err != nil {
+		if c != nil {
+			c.Close()
+		}
+		return err
+	}
+	return c.Close()
+}
+
+// reassigned replaces c after the fall-through branch, so the deref
+// uses the fresh value, not the one the check invalidated.
+func reassigned() {
+	c, err := dial()
+	if err != nil {
+		logf("retrying:", err)
+	}
+	c, err = redial()
+	if err != nil {
+		return
+	}
+	c.Close()
+}
+
+// continueInLoop: the error branch jumps to the next iteration, which
+// does not fall into the deref.
+func continueInLoop(n int) {
+	for i := 0; i < n; i++ {
+		c, err := dial()
+		if err != nil {
+			continue
+		}
+		c.Close()
+	}
+}
+
+// nilNil returns no value and no error: the caller's `if err != nil`
+// check passes and the subsequent deref panics.
+func nilNil(ok bool) (*conn, error) {
+	if !ok {
+		return nil, nil // want "return nil, nil"
+	}
+	return dial()
+}
+
+// sentinelError is the accepted way to spell "no result": the caller
+// can distinguish it from success.
+var errNotFound = errors.New("not found")
+
+func sentinelError(ok bool) (*conn, error) {
+	if !ok {
+		return nil, errNotFound
+	}
+	return dial()
+}
+
+// interfaceResult returning nil, nil is not flagged: a nil interface is
+// an ordinary "absent" value in this codebase (e.g. ParsePredicate).
+type predicate interface{ Eval() bool }
+
+func interfaceResult(ok bool) (predicate, error) {
+	if !ok {
+		return nil, nil
+	}
+	return nil, errNotFound
+}

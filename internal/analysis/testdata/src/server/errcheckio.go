@@ -1,0 +1,56 @@
+// Fixture for the errcheckio analyzer's narrow server mode: only
+// Flush/Close on buffered writers and io-package functions are flagged
+// here, not every writeish method.
+package server
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// flushDropped loses whatever is still sitting in the bufio buffer.
+func flushDropped(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("body") // best-effort write: not flagged in server
+	bw.Flush()             // want `error from bufio.Writer.Flush is discarded`
+}
+
+// closeDropped: gzip.Writer.Close writes the trailer; dropping its
+// error truncates the compressed stream.
+func closeDropped(w io.Writer) {
+	zw := gzip.NewWriter(w)
+	zw.Write([]byte("body")) // best-effort write: not flagged in server
+	zw.Close()               // want `error from gzip.Writer.Close is discarded`
+}
+
+// copyDropped truncates a streamed archive silently.
+func copyDropped(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `error from io.Copy is discarded`
+}
+
+// flushChecked is the expected shape.
+func flushChecked(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("body"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// explicitDiscard is a reviewed decision, not an oversight.
+func explicitDiscard(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	_ = bw.Flush()
+}
+
+// localCloser is a project type, not a buffered writer from the io
+// tree; its Close is out of the narrow net.
+type localCloser struct{}
+
+func (localCloser) Close() error { return nil }
+
+func closeLocal() {
+	var c localCloser
+	c.Close()
+}

@@ -1,0 +1,94 @@
+// Fixture for the wgbalance analyzer: WaitGroup discipline around
+// `go func` spawn sites.
+package wgbalance
+
+import "sync"
+
+func work(int) {}
+
+// fanOut is the correct shape: Add dominates the spawn, Done is a
+// deferred first statement.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// addInBranch under-counts: on the even path the goroutine starts
+// without a matching Add, so Wait can return early.
+func addInBranch(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if i%2 == 1 {
+			wg.Add(1)
+		}
+		go func(i int) { // want "Add does not dominate"
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// noDeferDone loses the Done whenever work panics: Wait deadlocks.
+func noDeferDone(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "Done is not deferred"
+			work(i)
+			wg.Done()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// lateDefer registers the Done after a conditional return: the early
+// exit never posts it.
+func lateDefer(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			if it < 0 {
+				return
+			}
+			defer wg.Done() // want "registered after a branch"
+			work(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// missingAdd: the WaitGroup is local and no Add exists anywhere, so
+// Wait returns immediately while the goroutine still runs.
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the spawn"
+		defer wg.Done()
+		work(0)
+	}()
+	wg.Wait()
+}
+
+// callerCounted takes the WaitGroup from its caller: the Add
+// legitimately lives there, so the spawn is not flagged.
+func callerCounted(wg *sync.WaitGroup, i int) {
+	go func() {
+		defer wg.Done()
+		work(i)
+	}()
+}
+
+// channelBased goroutines without a WaitGroup are out of scope.
+func channelBased(c chan error) {
+	go func() {
+		c <- nil
+	}()
+}

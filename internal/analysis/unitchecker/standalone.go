@@ -1,0 +1,108 @@
+package unitchecker
+
+// Standalone mode: instead of one vet.cfg unit per invocation, resolve
+// package patterns through `go list -json -deps -export` — which
+// compiles what it must and hands back export data for every dependency
+// — and analyze all matched packages in one process. This is what lets
+// `spartanvet -sarif ./...` aggregate the whole module into a single
+// SARIF log for upload, something the per-unit vet protocol cannot do.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output standalone mode
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone analyzes every package matched by patterns and reports
+// in the selected format. Test files are not loaded (they belong to the
+// vet protocol's test variants); the mode covers the shipped sources.
+func runStandalone(progname string, patterns []string, analyzers []*analysis.Analyzer, opts *options, stdout, stderr io.Writer) int {
+	targets, exports, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	cwd, _ := os.Getwd()
+	var all []Diag
+	broken := 0
+	for _, p := range targets {
+		files := make([]string, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, name))
+		}
+		cfg := &Config{
+			ImportPath:  p.ImportPath,
+			Dir:         cwd,
+			GoFiles:     files,
+			PackageFile: exports,
+		}
+		diags, err := checkPackage(cfg, analyzers, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %s: %v\n", progname, p.ImportPath, err)
+			broken++
+			continue
+		}
+		all = append(all, diags...)
+	}
+	if broken > 0 {
+		return 1
+	}
+	return report(progname, analyzers, all, opts, stdout, stderr)
+}
+
+// loadPackages shells out to the go command for pattern expansion and
+// export data, returning the matched packages plus an import-path →
+// export-file map covering their whole dependency closure.
+func loadPackages(patterns []string) (targets []*listPackage, exports map[string]string, err error) {
+	args := append([]string{"list", "-json", "-deps", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := bytes.TrimSpace(stderr.Bytes())
+		if len(msg) > 0 {
+			return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, msg)
+		}
+		return nil, nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+
+	exports = map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}

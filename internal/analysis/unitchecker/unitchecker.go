@@ -13,6 +13,24 @@
 //
 // Diagnostics are printed to stderr as "file:line:col: message [name]"
 // and make the process exit non-zero, which `go vet` reports as failure.
+//
+// Beyond the vet protocol, the tool also runs standalone over package
+// patterns (`tool -sarif ./...`): it resolves the patterns and their
+// export data through `go list`, analyzes every matched package, and
+// emits one aggregated report. Output formats:
+//
+//   - default: the vet-style text lines on stderr, exit 2 on findings;
+//   - -json: a JSON array of diagnostics on stdout, exit 0;
+//   - -sarif: a SARIF 2.1.0 log on stdout (GitHub code scanning), exit 0.
+//
+// The data formats exit zero on findings because they exist to report,
+// not to gate; the text mode remains the CI tripwire. In all modes a
+// //spartanvet:ignore directive that no longer suppresses anything is
+// itself reported as a finding under the name "staleignore" (the
+// "ignore all" form is only judged when the full suite runs, since a
+// partial run cannot tell whether the directive still earns its keep).
+// -debug.cfg=<func> dumps the control-flow graph of every function with
+// that name to stderr while checking, for analyzer debugging.
 package unitchecker
 
 import (
@@ -32,6 +50,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Config is the package-unit description the go command writes to
@@ -62,9 +81,19 @@ func Run(progname string, args []string, analyzers []*analysis.Analyzer) {
 
 func exit(code int) { os.Exit(code) }
 
+// options carries the output and debugging switches shared by the
+// protocol and standalone modes.
+type options struct {
+	format   string // "" (vet text), "json", or "sarif"
+	debugCFG string // function name whose CFG is dumped to stderr
+	judgeAll bool   // full suite ran: "ignore all" directives are judged
+	stderr   io.Writer
+}
+
 func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
 	enabled := map[string]*bool{}
-	var cfgFile string
+	opts := &options{stderr: stderr}
+	var positional []string
 	for _, arg := range args {
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
@@ -77,6 +106,12 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		case arg == "-flags" || arg == "--flags":
 			fmt.Fprintln(stdout, flagsJSON(analyzers))
 			return 0
+		case arg == "-json" || arg == "--json":
+			opts.format = "json"
+		case arg == "-sarif" || arg == "--sarif":
+			opts.format = "sarif"
+		case strings.HasPrefix(arg, "-debug.cfg="), strings.HasPrefix(arg, "--debug.cfg="):
+			_, opts.debugCFG, _ = strings.Cut(arg, "=")
 		case strings.HasPrefix(arg, "-"):
 			name, val, ok := parseBoolFlag(arg)
 			if !ok {
@@ -85,16 +120,8 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 			}
 			enabled[name] = &val
 		default:
-			if cfgFile != "" {
-				fmt.Fprintf(stderr, "%s: unexpected argument %s (want a single *.cfg file)\n", progname, arg)
-				return 2
-			}
-			cfgFile = arg
+			positional = append(positional, arg)
 		}
-	}
-	if cfgFile == "" || !strings.HasSuffix(cfgFile, ".cfg") {
-		fmt.Fprintf(stderr, "%s: this tool speaks the `go vet` protocol; invoke it as: go vet -vettool=%s ./...\n", progname, progname)
-		return 1
 	}
 
 	// Honor per-analyzer -name=true/false flags the way `go vet` does: if
@@ -117,6 +144,21 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		}
 		selected = keep
 	}
+	// Unused "ignore all" directives can only be judged when nothing was
+	// deselected: a partial run cannot prove a directive useless.
+	opts.judgeAll = len(enabled) == 0
+
+	if len(positional) != 1 || !strings.HasSuffix(positional[0], ".cfg") {
+		if len(positional) > 0 {
+			return runStandalone(progname, positional, selected, opts, stdout, stderr)
+		}
+		fmt.Fprintf(stderr, "%s: this tool speaks the `go vet` protocol; invoke it as:\n"+
+			"  go vet -vettool=%s ./...       (per-unit, build-cached)\n"+
+			"  %s [-json|-sarif] ./...        (standalone, aggregated report)\n",
+			progname, progname, progname)
+		return 1
+	}
+	cfgFile := positional[0]
 
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
@@ -136,7 +178,7 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		return 0
 	}
 
-	diags, err := checkPackage(cfg, selected)
+	diags, err := checkPackage(cfg, selected, opts)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -144,13 +186,46 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		fmt.Fprintf(stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	return report(progname, selected, diags, opts, stdout, stderr)
+}
+
+// report renders diagnostics in the selected format and returns the
+// process exit code. The vet-style text mode prints unsuppressed
+// findings to stderr and fails; the data formats print everything —
+// suppressed results included, marked as such — to stdout and succeed,
+// because they feed dashboards rather than gate merges.
+func report(progname string, analyzers []*analysis.Analyzer, diags []Diag, opts *options, stdout, stderr io.Writer) int {
+	switch opts.format {
+	case "json":
+		out, err := marshalJSON(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		stdout.Write(out)
+		return 0
+	case "sarif":
+		out, err := buildSARIF(progname, analyzers, diags).Marshal()
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		stdout.Write(out)
+		return 0
+	default:
+		failed := false
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Fprintln(stderr, d)
+			failed = true
+		}
+		if failed {
+			return 2
+		}
 		return 0
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stderr, d)
-	}
-	return 2
 }
 
 func parseBoolFlag(arg string) (name string, val bool, ok bool) {
@@ -236,11 +311,18 @@ func writeVetx(cfg *Config) error {
 	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
 }
 
-// Diag is one rendered diagnostic.
+// Diag is one rendered diagnostic. Suppressed diagnostics (silenced by
+// a //spartanvet:ignore directive) are carried along for the data
+// formats, which report them as SARIF suppressions instead of dropping
+// them.
 type Diag struct {
-	Position token.Position
-	Message  string
-	Analyzer string
+	Position   token.Position
+	Message    string
+	Analyzer   string
+	Suppressed bool
+	// Justification is the directive's free-text reason, set only when
+	// Suppressed.
+	Justification string
 }
 
 func (d Diag) String() string {
@@ -248,7 +330,7 @@ func (d Diag) String() string {
 }
 
 // checkPackage parses and type-checks the unit and runs the analyzers.
-func checkPackage(cfg *Config, analyzers []*analysis.Analyzer) ([]Diag, error) {
+func checkPackage(cfg *Config, analyzers []*analysis.Analyzer, opts *options) ([]Diag, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -288,16 +370,37 @@ func checkPackage(cfg *Config, analyzers []*analysis.Analyzer) ([]Diag, error) {
 		return nil, err
 	}
 
+	if opts.debugCFG != "" {
+		dumpCFGs(opts.stderr, fset, files, opts.debugCFG)
+	}
+
+	// One suppression index shared by every analyzer, so that after the
+	// runs it knows which directives earned their keep.
+	sup := analysis.IndexSuppressions(fset, files)
+	toDiag := func(d analysis.Diagnostic) Diag {
+		pos := fset.Position(d.Pos)
+		pos.Filename = relativeTo(pos.Filename, cfg.Dir)
+		return Diag{Position: pos, Message: d.Message, Analyzer: d.Analyzer}
+	}
 	var diags []Diag
+	known := map[string]bool{}
 	for _, a := range analyzers {
-		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
-			pos := fset.Position(d.Pos)
-			pos.Filename = relativeTo(pos.Filename, cfg.Dir)
-			diags = append(diags, Diag{Position: pos, Message: d.Message, Analyzer: d.Analyzer})
-		})
+		known[a.Name] = true
+		pass := analysis.NewPassShared(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, toDiag(d))
+		}, sup)
+		pass.SuppressedSink = func(d analysis.Diagnostic, dir *analysis.Directive) {
+			sd := toDiag(d)
+			sd.Suppressed = true
+			sd.Justification = dir.Reason
+			diags = append(diags, sd)
+		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
+	}
+	for _, d := range sup.Stale(known, opts.judgeAll) {
+		diags = append(diags, toDiag(d))
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Position, diags[j].Position
@@ -310,6 +413,20 @@ func checkPackage(cfg *Config, analyzers []*analysis.Analyzer) ([]Diag, error) {
 		return pi.Column < pj.Column
 	})
 	return diags, nil
+}
+
+// dumpCFGs prints the control-flow graph of every function declaration
+// named name, for analyzer debugging (-debug.cfg=<func>).
+func dumpCFGs(w io.Writer, fset *token.FileSet, files []*ast.File, name string) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Body == nil {
+				continue
+			}
+			fmt.Fprintf(w, "# CFG %s (%s)\n%s", name, fset.Position(fd.Pos()), cfg.New(fd.Body).Format(fset))
+		}
+	}
 }
 
 // relativeTo shortens absolute file names to be relative to the working

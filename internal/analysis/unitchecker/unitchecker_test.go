@@ -9,6 +9,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/sarif"
 )
 
 // buildTool compiles cmd/spartanvet into a temp dir and returns its path.
@@ -63,7 +65,10 @@ func TestFlagsProtocol(t *testing.T) {
 	if err := json.Unmarshal(out, &flags); err != nil {
 		t.Fatalf("-flags output is not the JSON shape cmd/go expects: %v\n%s", err, out)
 	}
-	want := map[string]bool{"floatcmp": true, "spanfinish": true, "lockbalance": true, "errcheckio": true, "metricname": true}
+	want := map[string]bool{
+		"floatcmp": true, "spanfinish": true, "lockbalance": true, "errcheckio": true, "metricname": true,
+		"nilflow": true, "deferloop": true, "wgbalance": true, "hotalloc": true,
+	}
 	for _, f := range flags {
 		delete(want, f.Name)
 		if !f.Bool {
@@ -177,5 +182,183 @@ func Same(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b)
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
 		t.Fatalf("go vet failed on a clean module: %v\n%s", err, stderr.String())
+	}
+}
+
+// seedModule writes a scratch module with one floatcmp violation, one
+// suppressed errcheckio violation, and one stale ignore directive, and
+// returns its directory.
+func seedModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module seeded\n\ngo 1.22\n")
+	write("cart/cart.go", `package cart
+
+func Same(a, b float64) bool { return a == b }
+`)
+	write("codec/codec.go", `package codec
+
+import "bufio"
+
+//spartanvet:ignore errcheckio best-effort trailer write
+func Emit(w *bufio.Writer) { w.WriteByte(0) }
+
+//spartanvet:ignore floatcmp nothing here compares floats
+func Noop() {}
+`)
+	return dir
+}
+
+// runTool executes the built tool in dir and returns stdout, stderr,
+// and the exit code.
+func runTool(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(buildTool(t), args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running tool: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestStandaloneSarif checks the aggregated `spartanvet -sarif ./...`
+// mode: the output must be a valid SARIF 2.1.0 log containing the
+// seeded finding, the suppressed finding (as a suppression), and the
+// stale-directive finding.
+func TestStandaloneSarif(t *testing.T) {
+	dir := seedModule(t)
+	stdout, stderr, code := runTool(t, dir, "-sarif", "./...")
+	if code != 0 {
+		t.Fatalf("-sarif exited %d (data formats must not gate)\nstderr: %s", code, stderr)
+	}
+	if err := sarif.Validate([]byte(stdout)); err != nil {
+		t.Fatalf("output is not valid SARIF 2.1.0: %v\n%s", err, stdout)
+	}
+	for _, want := range []string{
+		`"ruleId": "floatcmp"`,
+		`"ruleId": "errcheckio"`,
+		`"ruleId": "staleignore"`,
+		`"kind": "inSource"`,
+		`"justification": "best-effort trailer write"`,
+		`"uri": "cart/cart.go"`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("SARIF output missing %s\n%s", want, stdout)
+		}
+	}
+}
+
+// TestStandaloneJSON checks the -json format: a flat array with the
+// suppressed flag carried through.
+func TestStandaloneJSON(t *testing.T) {
+	dir := seedModule(t)
+	stdout, stderr, code := runTool(t, dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("-json exited %d\nstderr: %s", code, stderr)
+	}
+	var diags []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Analyzer   string `json:"analyzer"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, stdout)
+	}
+	byAnalyzer := map[string]bool{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = true
+		if d.Analyzer == "errcheckio" && !d.Suppressed {
+			t.Errorf("suppressed errcheckio finding lost its flag: %+v", d)
+		}
+	}
+	for _, want := range []string{"floatcmp", "errcheckio", "staleignore"} {
+		if !byAnalyzer[want] {
+			t.Errorf("-json output missing %s diagnostics\n%s", want, stdout)
+		}
+	}
+}
+
+// TestStandaloneText checks the default standalone mode still gates:
+// findings print to stderr and the exit code is non-zero, with the
+// suppressed finding excluded.
+func TestStandaloneText(t *testing.T) {
+	dir := seedModule(t)
+	_, stderr, code := runTool(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("text mode exited %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "[floatcmp]") {
+		t.Errorf("stderr missing the floatcmp finding:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "[staleignore]") {
+		t.Errorf("stderr missing the stale-directive finding:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "[errcheckio]") {
+		t.Errorf("suppressed errcheckio finding leaked into text output:\n%s", stderr)
+	}
+}
+
+// TestStaleDirectiveFailsGoVet proves the satellite contract: an ignore
+// directive that suppresses nothing fails the ordinary `go vet
+// -vettool` pipeline that `make lint` runs.
+func TestStaleDirectiveFailsGoVet(t *testing.T) {
+	tool := buildTool(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module stale\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cart"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	src := `package cart
+
+//spartanvet:ignore floatcmp this function no longer compares floats
+func Same(a, b int) bool { return a == b }
+`
+	if err := os.WriteFile(filepath.Join(dir, "cart", "cart.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=on")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("go vet passed a module with a stale ignore directive")
+	}
+	if !strings.Contains(stderr.String(), "[staleignore]") {
+		t.Fatalf("go vet output missing the staleignore finding:\n%s", stderr.String())
+	}
+}
+
+// TestDebugCFGDump checks -debug.cfg=<func> prints the function's
+// control-flow graph to stderr while checking.
+func TestDebugCFGDump(t *testing.T) {
+	dir := seedModule(t)
+	_, stderr, _ := runTool(t, dir, "-debug.cfg=Same", "-json", "./...")
+	if !strings.Contains(stderr, "# CFG Same") {
+		t.Fatalf("-debug.cfg=Same produced no CFG dump:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "entry") {
+		t.Fatalf("CFG dump has no entry block:\n%s", stderr)
 	}
 }

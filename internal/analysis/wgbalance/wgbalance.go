@@ -1,0 +1,227 @@
+// Package wgbalance checks the sync.WaitGroup discipline around every
+// `go func` spawn site: the matching wg.Add must dominate the spawn in
+// the spawning function's control-flow graph (an Add inside a branch
+// can under-count, and Wait returns early), and the goroutine's wg.Done
+// must be a deferred first statement so it posts on every exit —
+// including panic and early-return paths. A goroutine that skips Done
+// deadlocks the pipeline's Wait; one that can run before Add is counted
+// races the Wait itself.
+//
+// The motivating sites are SPARTAN's parallel sections: the outlier
+// scan fan-out in internal/core, the per-attribute CaRT builds in
+// internal/selector, the model reconstruction in internal/codec, and
+// the serve loop in cmd/spartand.
+package wgbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer checks Add-dominates-spawn and Done-posts-on-every-exit.
+var Analyzer = &analysis.Analyzer{
+	Name: "wgbalance",
+	Doc: "flag WaitGroup goroutines whose Add does not dominate the spawn or whose Done can be skipped\n\n" +
+		"wg.Add must execute on every path before `go func`, and the goroutine\n" +
+		"must `defer wg.Done()` first thing, so panics and early returns still\n" +
+		"post the Done.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkBody(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Collect the go statements of this function (not of nested
+	// literals, which get their own visit).
+	var spawns []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			spawns = append(spawns, n)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	var g *cfg.CFG // built lazily: most spawn sites are channel-based
+	var idom []int
+	for _, spawn := range spawns {
+		lit, ok := spawn.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue // can't see into a named function's Done
+		}
+		wg := doneReceiver(pass, lit.Body)
+		if wg == "" {
+			continue // not a WaitGroup-managed goroutine
+		}
+		checkDone(pass, lit, wg)
+
+		if g == nil {
+			g = cfg.New(body)
+			idom = g.Dominators()
+		}
+		checkAdd(pass, body, g, idom, spawn, wg)
+	}
+}
+
+// doneReceiver returns the rendered receiver of a wg.Done() call in the
+// goroutine body ("" if none), e.g. "wg" or "c.wg".
+func doneReceiver(pass *analysis.Pass, body *ast.BlockStmt) string {
+	recv := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if recv != "" {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if r, method := waitGroupCall(pass, call); method == "Done" {
+				recv = r
+			}
+		}
+		return true
+	})
+	return recv
+}
+
+// checkDone enforces that the goroutine's Done is a deferred first
+// statement: the only placement that posts on every exit, panics
+// included.
+func checkDone(pass *analysis.Pass, lit *ast.FuncLit, wg string) {
+	g := cfg.New(lit.Body)
+	var deferred *ast.DeferStmt
+	for _, d := range g.Defers {
+		if r, method := waitGroupCall(pass, d.Call); method == "Done" && r == wg {
+			deferred = d
+			break
+		}
+	}
+	if deferred == nil {
+		// Done exists (doneReceiver saw it) but is not deferred.
+		pass.Reportf(lit.Pos(), "%s.Done is not deferred in this goroutine; a panic or early return skips it and %s.Wait deadlocks — make `defer %s.Done()` the first statement", wg, wg, wg)
+		return
+	}
+	if b := g.BlockOf(deferred.Pos()); b != nil && b.Index != 0 {
+		pass.Reportf(deferred.Pos(), "defer %s.Done() is registered after a branch; an exit before this line never posts Done — move it to the top of the goroutine", wg)
+	}
+}
+
+// checkAdd enforces that some wg.Add executes on every path to the
+// spawn (dominates it in the CFG).
+func checkAdd(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG, idom []int, spawn *ast.GoStmt, wg string) {
+	spawnBlock := g.BlockOf(spawn.Pos())
+	if spawnBlock == nil {
+		return
+	}
+	found := false
+	dominates := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, method := waitGroupCall(pass, call); method == "Add" && r == wg {
+			found = true
+			if b := g.BlockOf(call.Pos()); b != nil {
+				if b == spawnBlock && call.Pos() < spawn.Pos() {
+					dominates = true
+				} else if b != spawnBlock && cfg.Dominates(idom, b.Index, spawnBlock.Index) {
+					dominates = true
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case found && !dominates:
+		pass.Reportf(spawn.Pos(), "%s.Add does not dominate this goroutine spawn: on some path the goroutine starts uncounted and %s.Wait returns early — move the Add before the spawn on every path", wg, wg)
+	case !found && localWaitGroup(pass, body, wg):
+		pass.Reportf(spawn.Pos(), "goroutine calls %s.Done but no %s.Add precedes the spawn in this function — Wait can return before this goroutine runs", wg, wg)
+	}
+}
+
+// localWaitGroup reports whether the named WaitGroup is declared inside
+// body — if it came in as a parameter or field, Add may legitimately
+// live at the caller.
+func localWaitGroup(pass *analysis.Pass, body *ast.BlockStmt, wg string) bool {
+	local := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == wg {
+			if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+				if body.Pos() <= obj.Pos() && obj.Pos() <= body.End() {
+					local = true
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// waitGroupCall reports the rendered receiver and method name if call
+// is a method call on a sync.WaitGroup (possibly via pointer).
+func waitGroupCall(pass *analysis.Pass, call *ast.CallExpr) (recv, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "WaitGroup" {
+		return "", ""
+	}
+	return exprString(sel.X), sel.Sel.Name
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	default:
+		return "wg"
+	}
+}

@@ -1,0 +1,12 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/wgbalance"
+)
+
+func TestWgbalance(t *testing.T) {
+	analyzertest.Run(t, "../testdata", wgbalance.Analyzer, "wgbalance")
+}

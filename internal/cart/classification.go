@@ -131,7 +131,7 @@ func (b *treeBuilder) bestSplitGini(rows []int) (candidateSplit, bool) {
 
 // classIndex maps the target codes present in rows to dense indices.
 func (b *treeBuilder) classIndex(rows []int) map[int32]int {
-	idx := map[int32]int{}
+	idx := make(map[int32]int, b.t.Col(b.target).DomainSize())
 	for _, r := range rows {
 		c := b.t.Code(r, b.target)
 		if _, ok := idx[c]; !ok {
@@ -207,7 +207,7 @@ func (b *treeBuilder) categoricalSplitGini(rows []int, y []int, nc, attr int) (c
 		counts []int
 		n      int
 	}
-	groups := map[int32]*group{}
+	groups := make(map[int32]*group, b.t.Col(attr).DomainSize())
 	for i, r := range rows {
 		c := b.t.Code(r, attr)
 		g := groups[c]

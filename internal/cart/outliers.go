@@ -51,6 +51,7 @@ func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass m
 		for r := 0; r < full.NumRows(); r++ {
 			_, pred := m.PredictRow(full, r)
 			if actual := col.Codes[r]; actual != pred {
+				//spartanvet:ignore hotalloc misprediction count is unknowable before predicting; counting first would double the PredictRow cost
 				wrong = append(wrong, Outlier{Row: r, Code: actual})
 			}
 		}
@@ -67,7 +68,7 @@ func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass m
 		for _, c := range col.Codes {
 			classCount[c]++
 		}
-		allowanceLeft := map[int32]int{}
+		allowanceLeft := make(map[int32]int, len(classCount))
 		for c, n := range classCount {
 			e, ok := perClass[c]
 			if !ok {

@@ -209,7 +209,7 @@ func (b *treeBuilder) categoricalSplitSSE(rows []int, y []float64, attr int) (ca
 		sumsq float64
 		n     int
 	}
-	groups := map[int32]*group{}
+	groups := make(map[int32]*group, b.t.Col(attr).DomainSize())
 	for i, r := range rows {
 		c := b.t.Code(r, attr)
 		g := groups[c]

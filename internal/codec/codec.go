@@ -141,7 +141,7 @@ func Encode(w io.Writer, src *table.Table, materialized []int, models []*cart.Mo
 }
 
 func validatePlan(src *table.Table, materialized []int, models []*cart.Model) error {
-	isMat := map[int]bool{}
+	isMat := make(map[int]bool, len(materialized))
 	for _, a := range materialized {
 		if a < 0 || a >= src.NumCols() {
 			return fmt.Errorf("codec: materialized attribute %d out of range", a)
@@ -151,7 +151,7 @@ func validatePlan(src *table.Table, materialized []int, models []*cart.Model) er
 		}
 		isMat[a] = true
 	}
-	targets := map[int]bool{}
+	targets := make(map[int]bool, len(models))
 	for _, m := range models {
 		if m.Target < 0 || m.Target >= src.NumCols() {
 			return fmt.Errorf("codec: model target %d out of range", m.Target)

@@ -95,7 +95,7 @@ func encodeFascicle(bw *bufio.Writer, t *table.Table, f *Fascicle) error {
 	if err := putUvarint(bw, uint64(len(f.Rows))); err != nil {
 		return err
 	}
-	compact := map[int]bool{}
+	compact := make(map[int]bool, len(f.CompactAttrs))
 	for _, a := range f.CompactAttrs {
 		compact[a] = true
 	}
@@ -212,8 +212,8 @@ func Decompress(data []byte) (*table.Table, error) {
 		if k > uint64(ncols) {
 			return nil, fmt.Errorf("fascicle: %d compact attributes for %d columns", k, ncols)
 		}
-		skip := map[int]bool{}
-		reps := map[int][2]any{}
+		skip := make(map[int]bool, int(k))
+		reps := make(map[int][2]any, int(k))
 		for j := uint64(0); j < k; j++ {
 			attrU, err := binary.ReadUvarint(br)
 			if err != nil {

@@ -125,8 +125,7 @@ func Cluster(t *table.Table, p Params) (*Clustering, error) {
 	n := t.NumRows()
 	idx := buildIndex(t)
 	assigned := make([]bool, n)
-	var fascicles []Fascicle
-	var leftover []int
+	fascicles := make([]Fascicle, 0, p.MaxFascicles)
 
 	// Seeds that fail to grow are skipped permanently; cap total attempts
 	// so degenerate tables (nothing clusters) stay linear.
@@ -150,6 +149,13 @@ func Cluster(t *table.Table, p Params) (*Clustering, error) {
 		}
 		fascicles = append(fascicles, f)
 	}
+	free := 0
+	for _, done := range assigned {
+		if !done {
+			free++
+		}
+	}
+	leftover := make([]int, 0, free)
 	for r := 0; r < n; r++ {
 		if !assigned[r] {
 			leftover = append(leftover, r)
@@ -186,7 +192,7 @@ func buildIndex(t *table.Table) []colIndex {
 			idx[a] = colIndex{sortedVals: vals, sortedRows: order}
 			continue
 		}
-		buckets := make(map[int32][]int)
+		buckets := make(map[int32][]int, len(col.Dict))
 		for r, c := range col.Codes {
 			buckets[c] = append(buckets[c], r)
 		}
@@ -275,7 +281,9 @@ func growFascicle(t *table.Table, p Params, idx []colIndex, seed int, assigned [
 	}
 	var cands []int
 	if sparse.isCat {
-		for _, r := range idx[sparse.attr].buckets[sparse.seedC] {
+		bucket := idx[sparse.attr].buckets[sparse.seedC]
+		cands = make([]int, 0, len(bucket))
+		for _, r := range bucket {
 			if !assigned[r] {
 				cands = append(cands, r)
 			}
