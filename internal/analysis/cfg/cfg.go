@@ -604,13 +604,15 @@ func (g *CFG) Dominators() []int {
 			if j == i || dom[i][j/64]&(1<<(j%64)) == 0 {
 				continue
 			}
-			// j strictly dominates i; is it the closest?
+			// j strictly dominates i; is it the closest? It is iff
+			// every other strict dominator k of i also dominates j
+			// (i.e. sits above j on the dominator chain).
 			isIdom := true
 			for k := 0; k < n; k++ {
 				if k == i || k == j || dom[i][k/64]&(1<<(k%64)) == 0 {
 					continue
 				}
-				if dom[k][j/64]&(1<<(j%64)) == 0 {
+				if dom[j][k/64]&(1<<(k%64)) == 0 {
 					isIdom = false // k is a strict dominator not above j
 					break
 				}
@@ -703,16 +705,25 @@ func (g *CFG) LoopBlocks() []bool {
 
 // BlockOf returns the block whose Nodes contain a node with the given
 // position, or nil. Analyzers use it to locate the block of a statement
-// they found by AST walking.
+// they found by AST walking. When several blocks' nodes span the
+// position (a range.header carries the whole RangeStmt, which encloses
+// every statement of the range body), the innermost — smallest-span —
+// node wins, so body statements resolve to their body block rather
+// than the enclosing header.
 func (g *CFG) BlockOf(pos token.Pos) *Block {
+	var best *Block
+	var bestSpan token.Pos
 	for _, b := range g.Blocks {
 		for _, n := range b.Nodes {
 			if n.Pos() <= pos && pos <= n.End() {
-				return b
+				span := n.End() - n.Pos()
+				if best == nil || span < bestSpan {
+					best, bestSpan = b, span
+				}
 			}
 		}
 	}
-	return nil
+	return best
 }
 
 // Format renders the graph for golden tests and the spartanvet

@@ -287,8 +287,10 @@ func makeLacksHint(pass *analysis.Pass, call *ast.CallExpr) bool {
 }
 
 // rowBoundedFor reports whether a for loop's trip count depends on
-// data: no condition at all, or a comparison against a non-constant
-// bound.
+// data: no condition at all, a comparison whose bound side is
+// non-constant, or a countdown from a non-constant start
+// (`for i := n; i > 0; i--` — the condition's bound is the constant 0
+// but the trip count is still n).
 func rowBoundedFor(pass *analysis.Pass, loop *ast.ForStmt) bool {
 	if loop.Cond == nil {
 		return true // for {} — bounded only by a break
@@ -297,7 +299,64 @@ func rowBoundedFor(pass *analysis.Pass, loop *ast.ForStmt) bool {
 	if !ok {
 		return true // unusual condition: assume data-dependent
 	}
-	return !isConstant(pass, cmp.X) && !isConstant(pass, cmp.Y)
+	iv := inductionVar(pass, loop)
+	var bound ast.Expr
+	switch {
+	case iv != nil && sameVar(pass, cmp.X, iv):
+		bound = cmp.Y
+	case iv != nil && sameVar(pass, cmp.Y, iv):
+		bound = cmp.X
+	default:
+		// No recognizable induction variable in the comparison: the
+		// loop is constant-bounded only when both operands are.
+		return !isConstant(pass, cmp.X) || !isConstant(pass, cmp.Y)
+	}
+	if !isConstant(pass, bound) {
+		return true
+	}
+	// Constant bound on the induction variable; the trip count is
+	// constant only if the start value is too.
+	return !constantStart(pass, loop.Init, iv)
+}
+
+// inductionVar returns the variable stepped by the loop's post
+// statement (i++, i--, i += k, i = i + k), or nil.
+func inductionVar(pass *analysis.Pass, loop *ast.ForStmt) *types.Var {
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := post.X.(*ast.Ident); ok {
+			return varOf(pass, id)
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 {
+			if id, ok := post.Lhs[0].(*ast.Ident); ok {
+				return varOf(pass, id)
+			}
+		}
+	}
+	return nil
+}
+
+// constantStart reports whether the loop init assigns the induction
+// variable a compile-time constant value. A nil or unrecognized init
+// (variable initialized elsewhere) counts as non-constant.
+func constantStart(pass *analysis.Pass, init ast.Stmt, iv *types.Var) bool {
+	assign, ok := init.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != len(assign.Rhs) {
+		return false
+	}
+	for i, lhs := range assign.Lhs {
+		if sameVar(pass, lhs, iv) {
+			return isConstant(pass, assign.Rhs[i])
+		}
+	}
+	return false
+}
+
+// sameVar reports whether e is an identifier resolving to v.
+func sameVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && varOf(pass, id) == v
 }
 
 // rowBoundedRange reports whether a range loop iterates over data

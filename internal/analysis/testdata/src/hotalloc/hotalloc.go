@@ -81,6 +81,26 @@ func dataBoundFor(n int) []int {
 	return out
 }
 
+// countdown iterates n times even though the condition's bound is the
+// constant 0: the trip count comes from the non-constant start.
+func countdown(n int) []int {
+	var out []int
+	for i := n; i > 0; i-- {
+		out = append(out, i) // want "created without a capacity hint"
+	}
+	return out
+}
+
+// constCountdown runs a fixed eight times: constant start against a
+// constant bound is not row-bounded.
+func constCountdown() []int {
+	var out []int
+	for i := 8; i > 0; i-- {
+		out = append(out, i)
+	}
+	return out
+}
+
 // createdInLoop builds a small per-iteration slice; the creation is
 // inside the loop, so the growth resets every pass and is not flagged.
 func createdInLoop(rows []int) {

@@ -36,6 +36,38 @@ func addInBranch(n int) {
 	wg.Wait()
 }
 
+// addInBranchRange puts the branch-guarded Add and the spawn in the
+// same range body: the even path still spawns uncounted. (Regression:
+// a BlockOf that resolved range-body statements to the range header
+// made the Add look same-block and earlier, masking this.)
+func addInBranchRange(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		if it%2 == 1 {
+			wg.Add(1)
+		}
+		go func(it int) { // want "Add does not dominate"
+			defer wg.Done()
+			work(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// fanOutRange is the correct range-loop shape: the unconditional Add
+// precedes the spawn in the same body block.
+func fanOutRange(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			work(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
 // noDeferDone loses the Done whenever work panics: Wait deadlocks.
 func noDeferDone(n int) {
 	var wg sync.WaitGroup
