@@ -37,6 +37,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof and /metrics (e.g. localhost:6060)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain for in-flight requests")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent compress/query pipelines; excess requests get 429 (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request pipeline deadline; overruns are cancelled and answered 503 (0 = none)")
 	flag.Parse()
 
 	log, err := newLogger(*logFormat)
@@ -48,8 +50,13 @@ func main() {
 
 	reg := obs.NewRegistry()
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(server.WithLogger(log), server.WithRegistry(reg)),
+		Addr: *addr,
+		Handler: server.New(
+			server.WithLogger(log),
+			server.WithRegistry(reg),
+			server.WithMaxConcurrent(*maxConcurrent),
+			server.WithRequestTimeout(*requestTimeout),
+		),
 		ReadHeaderTimeout: 10 * time.Second,
 		// Compression of large uploads can legitimately take a while;
 		// bound only the idle phases.

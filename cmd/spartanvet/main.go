@@ -1,14 +1,15 @@
-// Spartanvet is SPARTAN's domain-aware static-analysis suite: nine
-// analyzers that encode invariants the Go compiler cannot see. Five are
+// Spartanvet is SPARTAN's domain-aware static-analysis suite: ten
+// analyzers that encode invariants the Go compiler cannot see. Six are
 // syntactic (raw float equality on tolerances, unfinished pipeline
 // spans, unbalanced registry locks, swallowed archive-write errors,
-// malformed metric names); four are flow-sensitive, built on the
-// control-flow graphs and dataflow solver in internal/analysis/cfg and
+// malformed metric names, context-threading conventions in the pipeline
+// packages); four are flow-sensitive, built on the control-flow graphs
+// and dataflow solver in internal/analysis/cfg and
 // internal/analysis/dataflow (values used on proven-error paths, defers
 // accumulating inside per-row loops, WaitGroup Add/Done discipline,
-// hint-less allocations in row-bounded loops). A tenth synthetic check,
-// staleignore, flags //spartanvet:ignore directives that no longer
-// suppress anything.
+// hint-less allocations in row-bounded loops). An eleventh synthetic
+// check, staleignore, flags //spartanvet:ignore directives that no
+// longer suppress anything.
 //
 // It speaks the `go vet` tool protocol; run it through the go command:
 //
@@ -34,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/deferloop"
 	"repro/internal/analysis/errcheckio"
 	"repro/internal/analysis/floatcmp"
@@ -53,6 +55,7 @@ func main() {
 		lockbalance.Analyzer,
 		errcheckio.Analyzer,
 		metricname.Analyzer,
+		ctxfirst.Analyzer,
 		nilflow.Analyzer,
 		deferloop.Analyzer,
 		wgbalance.Analyzer,

@@ -1,0 +1,96 @@
+// Package ctxfirst enforces the context conventions of the compression
+// pipeline packages (internal/core, selector, cart, fascicle): an
+// exported function or method that takes a context.Context must take it
+// as its first parameter, and no struct may store a context in a field.
+//
+// The first rule is the standard library's own (database/sql,
+// net/http): a context buried mid-signature is easy to miss at call
+// sites and breaks the mechanical ctx-threading pattern the pipeline
+// relies on. The second exists because a stored context outlives the
+// call that supplied it — cancellation then depends on which caller's
+// context happened to be captured, not the current caller's, which is
+// exactly the bug ctx-threading is meant to rule out (pass ctx through
+// parameters; latch only the resulting error, as cart.treeBuilder does).
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces ctx-first signatures and forbids stored contexts in
+// the pipeline packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "require context.Context first in exported pipeline signatures; forbid storing it\n\n" +
+		"Exported functions in core/selector/cart/fascicle that accept a\n" +
+		"context must accept it as the first parameter, and structs must not\n" +
+		"hold one: a stored context ties cancellation to whichever caller\n" +
+		"created the value instead of the caller of the current operation.",
+	Run: run,
+}
+
+// scope lists the pipeline packages the conventions apply to.
+var scope = []string{"core", "selector", "cart", "fascicle"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags an exported function whose context parameter is
+// not first.
+func checkSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(pass, field.Type) {
+			pos += max(len(field.Names), 1)
+			continue
+		}
+		if pos != 0 {
+			pass.Reportf(field.Pos(), "%s takes context.Context as parameter %d; contexts go first (ctx context.Context, ...)", fn.Name.Name, pos+1)
+		}
+		return
+	}
+}
+
+// checkFields flags struct fields that hold a context.
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(pass, field.Type) {
+			pass.Reportf(field.Pos(), "struct field stores a context.Context; pass it through call parameters instead (a stored context pins cancellation to the wrong caller)")
+		}
+	}
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func isContextType(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

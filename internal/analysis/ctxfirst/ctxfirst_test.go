@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxfirst"
+)
+
+func TestCtxfirst(t *testing.T) {
+	analyzertest.Run(t, "../testdata", ctxfirst.Analyzer, "ctxfirst")
+}

@@ -1,0 +1,67 @@
+// Fixture for the ctxfirst analyzer: the package base name "core" puts
+// it in scope, mirroring repro/internal/core.
+package core
+
+import "context"
+
+type options struct {
+	theta float64
+}
+
+// Exported functions with a mid-signature context are flagged.
+func CompressWith(w options, ctx context.Context) error { // want `takes context.Context as parameter 2`
+	return ctx.Err()
+}
+
+func BuildAll(a, b int, ctx context.Context, tol float64) error { // want `takes context.Context as parameter 3`
+	return ctx.Err()
+}
+
+// Context first is the required shape.
+func CompressContext(ctx context.Context, w options) error {
+	return ctx.Err()
+}
+
+// Unexported helpers may order parameters freely.
+func runPhase(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Exported functions without a context are fine.
+func Compress(w options) error {
+	return nil
+}
+
+// Methods follow the same rule.
+type pipeline struct {
+	opts options
+}
+
+func (p *pipeline) RunContext(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+func (p *pipeline) Scan(n int, ctx context.Context) error { // want `takes context.Context as parameter 2`
+	return ctx.Err()
+}
+
+// Storing a context in a struct is always flagged, exported or not.
+type job struct {
+	ctx  context.Context // want `struct field stores a context.Context`
+	name string
+}
+
+type Task struct {
+	Ctx context.Context // want `struct field stores a context.Context`
+}
+
+// Latching only the error (the treeBuilder pattern) is the sanctioned
+// alternative and is not flagged.
+type builder struct {
+	ctxErr error
+}
+
+func use(j job, t Task, b builder) (context.Context, error) {
+	_ = b
+	return t.Ctx, j.ctx.Err()
+}

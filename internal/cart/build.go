@@ -1,6 +1,7 @@
 package cart
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -68,6 +69,14 @@ func (c Config) withDefaults(sampleRows int) Config {
 // selector assigns infinite prediction cost to such attributes).
 func Build(sample *table.Table, target int, cands []int, tol float64,
 	cm *CostModel, cfg Config) (*Model, float64, error) {
+	return BuildContext(context.Background(), sample, target, cands, tol, cm, cfg)
+}
+
+// BuildContext is Build with cancellation: growth checks ctx at every
+// node expansion, so a cancelled context abandons the tree within one
+// split evaluation and returns the (wrapped) context error.
+func BuildContext(ctx context.Context, sample *table.Table, target int, cands []int, tol float64,
+	cm *CostModel, cfg Config) (*Model, float64, error) {
 	if len(cands) == 0 {
 		return nil, 0, fmt.Errorf("cart: no candidate predictors for attribute %d", target)
 	}
@@ -101,16 +110,19 @@ func Build(sample *table.Table, target int, cands []int, tol float64,
 	var root *Node
 	var cost float64
 	if kind == table.Numeric {
-		root, cost = b.buildRegression(rows, 0)
+		root, cost = b.buildRegression(ctx, rows, 0)
 	} else {
-		root, cost = b.buildClassification(rows, 0)
+		root, cost = b.buildClassification(ctx, rows, 0)
 	}
-	if cfg.Prune == PruneAfter {
+	if cfg.Prune == PruneAfter && b.ctxErr == nil {
 		if kind == table.Numeric {
-			root, cost = b.pruneRegression(root, rows)
+			root, cost = b.pruneRegression(ctx, root, rows)
 		} else {
-			root, cost = b.pruneClassification(root, rows)
+			root, cost = b.pruneClassification(ctx, root, rows)
 		}
+	}
+	if b.ctxErr != nil {
+		return nil, 0, fmt.Errorf("cart: build cancelled: %w", b.ctxErr)
 	}
 	m := &Model{Target: target, TargetKind: kind, Root: root}
 	return m, cost, nil
@@ -124,6 +136,25 @@ type treeBuilder struct {
 	cm     *CostModel
 	cfg    Config
 	scale  float64 // full-table rows per sample row
+	// ctxErr records the first cancellation observed during growth. The
+	// recursive builders return a placeholder leaf once it is set, so the
+	// whole tree unwinds without threading an error through every level;
+	// BuildContext converts it into the returned error.
+	ctxErr error
+}
+
+// cancelled reports (and latches) whether ctx is done. It is checked at
+// every node expansion, bounding the work after a cancel to one split
+// evaluation.
+func (b *treeBuilder) cancelled(ctx context.Context) bool {
+	if b.ctxErr != nil {
+		return true
+	}
+	if err := ctx.Err(); err != nil {
+		b.ctxErr = err
+		return true
+	}
+	return false
 }
 
 // leafFloor is the cheapest any expanded subtree could cost: one internal

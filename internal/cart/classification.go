@@ -1,6 +1,7 @@
 package cart
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -46,7 +47,10 @@ func (b *treeBuilder) leafStatsClassification(rows []int) (majority int32, mis, 
 
 // buildClassification grows (and under PruneIntegrated, prunes) a subtree,
 // returning it with its estimated storage cost.
-func (b *treeBuilder) buildClassification(rows []int, depth int) (*Node, float64) {
+func (b *treeBuilder) buildClassification(ctx context.Context, rows []int, depth int) (*Node, float64) {
+	if b.cancelled(ctx) {
+		return &Node{Leaf: true}, 0
+	}
 	majority, mis, chargeable := b.leafStatsClassification(rows)
 	leaf := &Node{Leaf: true, CatValue: majority}
 	leafCost := b.cm.LeafBits(b.target) + b.outlierCost(chargeable)
@@ -66,8 +70,8 @@ func (b *treeBuilder) buildClassification(rows []int, depth int) (*Node, float64
 	if len(leftRows) < b.cfg.MinLeafRows || len(rightRows) < b.cfg.MinLeafRows {
 		return leaf, leafCost
 	}
-	leftNode, leftCost := b.buildClassification(leftRows, depth+1)
-	rightNode, rightCost := b.buildClassification(rightRows, depth+1)
+	leftNode, leftCost := b.buildClassification(ctx, leftRows, depth+1)
+	rightNode, rightCost := b.buildClassification(ctx, rightRows, depth+1)
 	splitCost := b.cm.InternalBits(split.attr) + leftCost + rightCost
 
 	if b.cfg.Prune == PruneIntegrated && leafCost <= splitCost {
@@ -85,15 +89,18 @@ func (b *treeBuilder) buildClassification(rows []int, depth int) (*Node, float64
 }
 
 // pruneClassification is the post-hoc pass for PruneAfter mode.
-func (b *treeBuilder) pruneClassification(n *Node, rows []int) (*Node, float64) {
+func (b *treeBuilder) pruneClassification(ctx context.Context, n *Node, rows []int) (*Node, float64) {
+	if b.cancelled(ctx) {
+		return n, 0
+	}
 	majority, _, chargeable := b.leafStatsClassification(rows)
 	leafCost := b.cm.LeafBits(b.target) + b.outlierCost(chargeable)
 	if n.Leaf {
 		return n, leafCost
 	}
 	leftRows, rightRows := b.routeRows(n, rows)
-	left, leftCost := b.pruneClassification(n.Left, leftRows)
-	right, rightCost := b.pruneClassification(n.Right, rightRows)
+	left, leftCost := b.pruneClassification(ctx, n.Left, leftRows)
+	right, rightCost := b.pruneClassification(ctx, n.Right, rightRows)
 	splitCost := b.cm.InternalBits(n.SplitAttr) + leftCost + rightCost
 	if leafCost <= splitCost {
 		return &Node{Leaf: true, CatValue: majority}, leafCost

@@ -1,10 +1,17 @@
 package cart
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/table"
 )
+
+// scanBatchRows is how many rows an outlier scan processes between
+// context checks: large enough that the check is amortized to nothing,
+// small enough that cancellation lands within a fraction of a
+// millisecond of work.
+const scanBatchRows = 4096
 
 // ComputeOutliers runs the model over the full table and records every row
 // whose prediction violates the target's tolerance.
@@ -28,6 +35,14 @@ func (m *Model) ComputeOutliers(full *table.Table, tol float64) error {
 // may stay misclassified unstored; classes absent from the map fall back
 // to tol. A nil map reproduces the global-probability semantics.
 func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass map[int32]float64) error {
+	return m.ComputeOutliersBudgetContext(context.Background(), full, tol, perClass)
+}
+
+// ComputeOutliersBudgetContext is ComputeOutliersBudget with
+// cancellation: the full-table scan checks ctx between row batches
+// (scanBatchRows rows each) and returns the wrapped context error,
+// leaving the model's outlier list in an unspecified but safe state.
+func (m *Model) ComputeOutliersBudgetContext(ctx context.Context, full *table.Table, tol float64, perClass map[int32]float64) error {
 	m.Outliers = m.Outliers[:0]
 	switch m.TargetKind {
 	case table.Numeric:
@@ -35,11 +50,16 @@ func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass m
 		if col.Kind != table.Numeric {
 			return fmt.Errorf("cart: model target %d is numeric, table column is not", m.Target)
 		}
-		for r := 0; r < full.NumRows(); r++ {
-			pred, _ := m.PredictRow(full, r)
-			actual := col.Floats[r]
-			if diff := actual - pred; diff > tol || diff < -tol {
-				m.Outliers = append(m.Outliers, Outlier{Row: r, Num: actual})
+		for base := 0; base < full.NumRows(); base += scanBatchRows {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cart: outlier scan: %w", err)
+			}
+			for r, end := base, minRow(base+scanBatchRows, full.NumRows()); r < end; r++ {
+				pred, _ := m.PredictRow(full, r)
+				actual := col.Floats[r]
+				if diff := actual - pred; diff > tol || diff < -tol {
+					m.Outliers = append(m.Outliers, Outlier{Row: r, Num: actual})
+				}
 			}
 		}
 	case table.Categorical:
@@ -48,11 +68,16 @@ func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass m
 			return fmt.Errorf("cart: model target %d is categorical, table column is not", m.Target)
 		}
 		var wrong []Outlier
-		for r := 0; r < full.NumRows(); r++ {
-			_, pred := m.PredictRow(full, r)
-			if actual := col.Codes[r]; actual != pred {
-				//spartanvet:ignore hotalloc misprediction count is unknowable before predicting; counting first would double the PredictRow cost
-				wrong = append(wrong, Outlier{Row: r, Code: actual})
+		for base := 0; base < full.NumRows(); base += scanBatchRows {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cart: outlier scan: %w", err)
+			}
+			for r, end := base, minRow(base+scanBatchRows, full.NumRows()); r < end; r++ {
+				_, pred := m.PredictRow(full, r)
+				if actual := col.Codes[r]; actual != pred {
+					//spartanvet:ignore hotalloc misprediction count is unknowable before predicting; counting first would double the PredictRow cost
+					wrong = append(wrong, Outlier{Row: r, Code: actual})
+				}
 			}
 		}
 		if perClass == nil {
@@ -85,6 +110,13 @@ func (m *Model) ComputeOutliersBudget(full *table.Table, tol float64, perClass m
 		}
 	}
 	return nil
+}
+
+func minRow(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // CountViolations returns how many rows of t the model would store as

@@ -1,6 +1,7 @@
 package cart
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -54,7 +55,10 @@ func (b *treeBuilder) leafStatsRegression(rows []int) (pred float64, outliers in
 // buildRegression grows (and under PruneIntegrated, prunes) a subtree for
 // the given sample rows, returning the subtree and its estimated storage
 // cost in bits.
-func (b *treeBuilder) buildRegression(rows []int, depth int) (*Node, float64) {
+func (b *treeBuilder) buildRegression(ctx context.Context, rows []int, depth int) (*Node, float64) {
+	if b.cancelled(ctx) {
+		return &Node{Leaf: true}, 0
+	}
 	pred, outliers := b.leafStatsRegression(rows)
 	leaf := &Node{Leaf: true, NumValue: pred}
 	leafCost := b.cm.LeafBits(b.target) + b.outlierCost(outliers)
@@ -77,8 +81,8 @@ func (b *treeBuilder) buildRegression(rows []int, depth int) (*Node, float64) {
 	if len(leftRows) < b.cfg.MinLeafRows || len(rightRows) < b.cfg.MinLeafRows {
 		return leaf, leafCost
 	}
-	leftNode, leftCost := b.buildRegression(leftRows, depth+1)
-	rightNode, rightCost := b.buildRegression(rightRows, depth+1)
+	leftNode, leftCost := b.buildRegression(ctx, leftRows, depth+1)
+	rightNode, rightCost := b.buildRegression(ctx, rightRows, depth+1)
 	splitCost := b.cm.InternalBits(split.attr) + leftCost + rightCost
 
 	if b.cfg.Prune == PruneIntegrated && leafCost <= splitCost {
@@ -97,15 +101,18 @@ func (b *treeBuilder) buildRegression(rows []int, depth int) (*Node, float64) {
 
 // pruneRegression is the post-hoc pruning pass for PruneAfter mode:
 // bottom-up, replace any subtree whose leaf-equivalent costs no more.
-func (b *treeBuilder) pruneRegression(n *Node, rows []int) (*Node, float64) {
+func (b *treeBuilder) pruneRegression(ctx context.Context, n *Node, rows []int) (*Node, float64) {
+	if b.cancelled(ctx) {
+		return n, 0
+	}
 	pred, outliers := b.leafStatsRegression(rows)
 	leafCost := b.cm.LeafBits(b.target) + b.outlierCost(outliers)
 	if n.Leaf {
 		return n, leafCost
 	}
 	leftRows, rightRows := b.routeRows(n, rows)
-	left, leftCost := b.pruneRegression(n.Left, leftRows)
-	right, rightCost := b.pruneRegression(n.Right, rightRows)
+	left, leftCost := b.pruneRegression(ctx, n.Left, leftRows)
+	right, rightCost := b.pruneRegression(ctx, n.Right, rightRows)
 	splitCost := b.cm.InternalBits(n.SplitAttr) + leftCost + rightCost
 	if leafCost <= splitCost {
 		return &Node{Leaf: true, NumValue: pred}, leafCost

@@ -176,8 +176,64 @@ func validatePlan(src *table.Table, materialized []int, models []*cart.Model) er
 	return nil
 }
 
-// Decode reads a compressed stream and reconstructs the full table.
+// DecodeLimits caps the resources a hostile or corrupt stream can claim
+// before its payload backs the claim up. The zero value of every field
+// selects a generous default, so limits are always on: Decode applies
+// them as-is and DecodeLimited lets callers tighten (or, by setting huge
+// values, effectively loosen) individual caps.
+type DecodeLimits struct {
+	// MaxRows bounds the header's row count (default 1<<34).
+	MaxRows uint64
+	// MaxCols bounds the schema's column count (default 1<<16).
+	MaxCols uint64
+	// MaxDictEntries bounds each categorical dictionary (default 1<<24).
+	MaxDictEntries uint64
+	// MaxModelBytes bounds the serialized models section (default 1<<31).
+	MaxModelBytes uint64
+	// MaxUnverifiedRows bounds the row count of a stream with no
+	// materialized columns, where no payload ever substantiates the
+	// claimed count (default 1<<26).
+	MaxUnverifiedRows uint64
+}
+
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	if l.MaxRows == 0 {
+		l.MaxRows = 1 << 34
+	}
+	if l.MaxCols == 0 {
+		l.MaxCols = 1 << 16
+	}
+	if l.MaxDictEntries == 0 {
+		l.MaxDictEntries = 1 << 24
+	}
+	if l.MaxModelBytes == 0 {
+		l.MaxModelBytes = 1 << 31
+	}
+	if l.MaxUnverifiedRows == 0 {
+		l.MaxUnverifiedRows = 1 << 26
+	}
+	return l
+}
+
+// maxDeflateRatio is the largest expansion stored deflate data can
+// achieve (one literal per bit plus framing, ≈1032:1). The T' block's
+// compressed length therefore bounds how many decompressed bytes — and
+// hence rows — the stream can actually deliver, letting Decode reject
+// inflated header row counts before allocating for them.
+const maxDeflateRatio = 1032
+
+// Decode reads a compressed stream and reconstructs the full table,
+// applying the default DecodeLimits.
 func Decode(r io.Reader) (*table.Table, error) {
+	return DecodeLimited(r, DecodeLimits{})
+}
+
+// DecodeLimited is Decode with explicit resource limits; zero fields of
+// lim keep their defaults. Streams whose headers claim more than the
+// limits allow — or more rows than their T' payload could possibly
+// deliver — fail early with a descriptive error instead of allocating.
+func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
@@ -186,7 +242,7 @@ func Decode(r io.Reader) (*table.Table, error) {
 	if string(got) != magic {
 		return nil, fmt.Errorf("codec: bad magic %q", got)
 	}
-	schema, dicts, err := readSchema(br)
+	schema, dicts, err := readSchemaLimited(br, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -195,8 +251,8 @@ func Decode(r io.Reader) (*table.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("codec: reading row count: %w", err)
 	}
-	if nrowsU > 1<<34 {
-		return nil, fmt.Errorf("codec: implausible row count %d", nrowsU)
+	if nrowsU > lim.MaxRows {
+		return nil, fmt.Errorf("codec: row count %d exceeds limit %d", nrowsU, lim.MaxRows)
 	}
 	nrows := int(nrowsU)
 	nmat, err := binary.ReadUvarint(br)
@@ -224,8 +280,8 @@ func Decode(r io.Reader) (*table.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("codec: reading models length: %w", err)
 	}
-	if modelsLen > 1<<31 {
-		return nil, fmt.Errorf("codec: implausible models length %d", modelsLen)
+	if modelsLen > lim.MaxModelBytes {
+		return nil, fmt.Errorf("codec: models length %d exceeds limit %d", modelsLen, lim.MaxModelBytes)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
@@ -272,10 +328,31 @@ func Decode(r io.Reader) (*table.Table, error) {
 		models[i] = m
 	}
 
-	// T' block.
+	// T' block. Before trusting the header's row count, cross-check it
+	// against what the compressed payload could possibly contain: every
+	// materialized column costs at least one decompressed byte per row,
+	// and deflate expands at most maxDeflateRatio:1, so a claimed count
+	// beyond tpLen·ratio/nmat rows cannot be backed by data. This rejects
+	// inflated headers before any row-sized work begins.
 	tpLen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("codec: reading T' length: %w", err)
+	}
+	if tpLen > math.MaxInt64 {
+		return nil, fmt.Errorf("codec: implausible T' length %d", tpLen)
+	}
+	if nmat > 0 {
+		maxRows := uint64(math.MaxUint64)
+		if tpLen < math.MaxUint64/maxDeflateRatio {
+			maxRows = tpLen * maxDeflateRatio / nmat
+		}
+		if uint64(nrows) > maxRows {
+			return nil, fmt.Errorf("codec: %d rows cannot fit in a %d-byte T' block", nrows, tpLen)
+		}
+	} else if uint64(nrows) > lim.MaxUnverifiedRows {
+		// With no materialized columns the claimed row count is never
+		// substantiated by payload, so cap it outright.
+		return nil, fmt.Errorf("codec: %d rows with no materialized columns exceeds limit %d", nrows, lim.MaxUnverifiedRows)
 	}
 	zr, err := gzip.NewReader(io.LimitReader(br, int64(tpLen)))
 	if err != nil {
@@ -295,24 +372,22 @@ func Decode(r io.Reader) (*table.Table, error) {
 	}
 
 	// Routing table: placeholder predicted columns so PredictRow can walk
-	// split attributes (which are all materialized). With no materialized
-	// columns the claimed row count is unverified by any payload, so cap
-	// it before allocating placeholders.
-	if len(matIdx) == 0 && nrows > 1<<26 {
-		return nil, fmt.Errorf("codec: %d rows with no materialized columns exceeds the format limit", nrows)
-	}
+	// split attributes (which are all materialized). The row count was
+	// cross-checked against the T' payload above, and the placeholders
+	// grow in bounded chunks rather than one header-sized allocation, so
+	// a lying stream fails cheaply instead of reserving gigabytes.
 	for a := 0; a < ncols; a++ {
 		if isMat[a] {
 			continue
 		}
 		if schema[a].Kind == table.Numeric {
-			cols[a].Floats = make([]float64, nrows)
+			cols[a].Floats = zeroFloats(nrows)
 			continue
 		}
 		if nrows > 0 && len(dicts[a]) == 0 {
 			return nil, fmt.Errorf("codec: predicted categorical attribute %d has empty dictionary", a)
 		}
-		cols[a].Codes = make([]int32, nrows)
+		cols[a].Codes = zeroCodes(nrows)
 	}
 	routing, err := table.New(schema, cols)
 	if err != nil {
@@ -530,6 +605,26 @@ func readNumericColumn(br *bufio.Reader, nrows int) ([]float64, error) {
 	return out, nil
 }
 
+// zeroFloats and zeroCodes allocate placeholder column storage in
+// bounded chunks instead of one header-sized request, matching the
+// incremental-growth policy used everywhere else header varints drive
+// allocation.
+func zeroFloats(n int) []float64 {
+	out := make([]float64, 0, minInt(n, 1<<16))
+	for len(out) < n {
+		out = append(out, make([]float64, minInt(n-len(out), 1<<16))...)
+	}
+	return out
+}
+
+func zeroCodes(n int) []int32 {
+	out := make([]int32, 0, minInt(n, 1<<16))
+	for len(out) < n {
+		out = append(out, make([]int32, minInt(n-len(out), 1<<16))...)
+	}
+	return out
+}
+
 // readFullGrowing reads exactly n bytes, growing dst incrementally so a
 // lying length cannot force a huge upfront allocation.
 func readFullGrowing(r io.Reader, dst []byte, n int) ([]byte, error) {
@@ -582,13 +677,13 @@ func writeSchema(bw *bufio.Writer, t *table.Table) error {
 	return nil
 }
 
-func readSchema(br *bufio.Reader) (table.Schema, [][]string, error) {
+func readSchemaLimited(br *bufio.Reader, lim DecodeLimits) (table.Schema, [][]string, error) {
 	ncols, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, nil, fmt.Errorf("codec: reading column count: %w", err)
 	}
-	if ncols == 0 || ncols > 1<<16 {
-		return nil, nil, fmt.Errorf("codec: implausible column count %d", ncols)
+	if ncols == 0 || ncols > lim.MaxCols {
+		return nil, nil, fmt.Errorf("codec: column count %d outside limit %d", ncols, lim.MaxCols)
 	}
 	schema := make(table.Schema, ncols)
 	dicts := make([][]string, ncols)
@@ -611,8 +706,8 @@ func readSchema(br *bufio.Reader) (table.Schema, [][]string, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			if dlen > 1<<24 {
-				return nil, nil, fmt.Errorf("codec: implausible dictionary size %d", dlen)
+			if dlen > lim.MaxDictEntries {
+				return nil, nil, fmt.Errorf("codec: dictionary size %d exceeds limit %d", dlen, lim.MaxDictEntries)
 			}
 			// Grow incrementally so a lying header cannot force a huge
 			// allocation before the stream runs out.

@@ -30,6 +30,14 @@ func FuzzDecode(f *testing.F) {
 	mutated := append([]byte(nil), valid...)
 	mutated[len(mutated)/3] ^= 0xFF
 	f.Add(mutated)
+	// Hostile headers claiming resources their payload cannot back; the
+	// decode limits must reject these without large allocation (see
+	// limits_test.go), and the fuzzer mutates them into near misses.
+	f.Add(hostileRowsStream())
+	f.Add(hostileColsStream())
+	f.Add(hostileDictStream())
+	f.Add(hostileModelsStream())
+	f.Add(hostileTPrimeStream())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tbl, err := Decode(bytes.NewReader(data))

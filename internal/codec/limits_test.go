@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// hostileBuf builds streams byte-by-byte so tests can forge headers the
+// encoder would never emit (claimed sizes with no payload behind them).
+type hostileBuf struct{ bytes.Buffer }
+
+func (b *hostileBuf) magic()    { _, _ = b.WriteString(magic) }
+func (b *hostileBuf) b1(c byte) { _ = b.WriteByte(c) }
+
+func (b *hostileBuf) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = b.Write(buf[:n]) // bytes.Buffer writes cannot fail
+}
+
+func (b *hostileBuf) str(s string) {
+	b.uvarint(uint64(len(s)))
+	_, _ = b.WriteString(s)
+}
+
+// numericSchema writes a one-column numeric schema.
+func (b *hostileBuf) numericSchema() {
+	b.uvarint(1)
+	b.str("a")
+	b.b1(byte(table.Numeric))
+}
+
+// hostileColsStream claims 2^40 columns.
+func hostileColsStream() []byte {
+	var b hostileBuf
+	b.magic()
+	b.uvarint(1 << 40)
+	return b.Bytes()
+}
+
+// hostileRowsStream claims 2^40 rows behind a valid one-column schema.
+func hostileRowsStream() []byte {
+	var b hostileBuf
+	b.magic()
+	b.numericSchema()
+	b.uvarint(1 << 40)
+	return b.Bytes()
+}
+
+// hostileDictStream claims a 2^40-entry categorical dictionary.
+func hostileDictStream() []byte {
+	var b hostileBuf
+	b.magic()
+	b.uvarint(1)
+	b.str("a")
+	b.b1(byte(table.Categorical))
+	b.uvarint(1 << 40)
+	return b.Bytes()
+}
+
+// hostileTPrimeStream passes every individual limit but claims a row
+// count (2^30, under the 2^34 default cap) that a 1-byte T' block cannot
+// possibly back, triggering the payload cross-check.
+func hostileTPrimeStream() []byte {
+	var b hostileBuf
+	b.magic()
+	b.numericSchema()
+	b.uvarint(1 << 30) // nrows
+	b.uvarint(1)       // nmat
+	b.uvarint(0)       // materialized attribute 0
+	// Models section: one byte (nmodels=0) with its CRC.
+	modelBytes := []byte{0}
+	b.uvarint(uint64(len(modelBytes)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(modelBytes))
+	_, _ = b.Write(crc[:]) // bytes.Buffer writes cannot fail
+	_, _ = b.Write(modelBytes)
+	b.uvarint(1) // tpLen: one byte for 2^30 claimed rows
+	b.b1(0)
+	return b.Bytes()
+}
+
+// hostileModelsStream claims a 2^40-byte models section.
+func hostileModelsStream() []byte {
+	var b hostileBuf
+	b.magic()
+	b.numericSchema()
+	b.uvarint(10)      // nrows
+	b.uvarint(1)       // nmat
+	b.uvarint(0)       // materialized attribute 0
+	b.uvarint(1 << 40) // modelsLen
+	return b.Bytes()
+}
+
+// allocDelta runs f and reports how many bytes it allocated. The decoder
+// is single-goroutine up to the point the hostile streams die, so the
+// delta is deterministic enough for an order-of-magnitude bound.
+func allocDelta(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestDecodeRejectsHostileHeaders feeds Decode headers whose claimed
+// sizes (2^40 rows, columns, dictionary entries, model bytes; a row
+// count no T' payload could deliver) must be rejected by the default
+// limits — with an error naming the violated bound, and without
+// allocating anything near the claimed size.
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name    string
+		stream  []byte
+		wantErr string
+	}{
+		{"rows", hostileRowsStream(), "row count"},
+		{"cols", hostileColsStream(), "column count"},
+		{"dict", hostileDictStream(), "dictionary size"},
+		{"models", hostileModelsStream(), "models length"},
+		{"tprime", hostileTPrimeStream(), "cannot fit"},
+	}
+	// Well under the smallest hostile claim (2^30 rows × 8 bytes); far
+	// above the decoder's legitimate buffers.
+	const allocLimit = 1 << 22
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var err error
+			delta := allocDelta(func() {
+				_, err = Decode(bytes.NewReader(tc.stream))
+			})
+			if err == nil {
+				t.Fatal("Decode accepted a hostile header")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if delta > allocLimit {
+				t.Errorf("Decode allocated %d bytes rejecting the header, want < %d", delta, allocLimit)
+			}
+		})
+	}
+}
+
+// TestDecodeLimitedTightens verifies explicit limits override the
+// defaults: a stream the default limits accept fails a tightened cap,
+// and zero-valued fields keep their defaults.
+func TestDecodeLimitedTightens(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := testTable(rng, 200)
+	mats, models := buildPlan(t, tb, 10)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, tb, mats, models); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeLimited(bytes.NewReader(buf.Bytes()), DecodeLimits{}); err != nil {
+		t.Fatalf("zero-value limits rejected a valid stream: %v", err)
+	}
+	if _, err := DecodeLimited(bytes.NewReader(buf.Bytes()), DecodeLimits{MaxRows: 100}); err == nil {
+		t.Error("MaxRows=100 accepted a 200-row stream")
+	}
+	if _, err := DecodeLimited(bytes.NewReader(buf.Bytes()), DecodeLimits{MaxCols: 1}); err == nil {
+		t.Error("MaxCols=1 accepted a multi-column stream")
+	}
+}

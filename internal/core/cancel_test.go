@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+)
+
+// TestCompressContextPreCancelled asserts that an already-cancelled
+// context stops the pipeline before the first phase runs: no bytes are
+// written, the error wraps context.Canceled and names the phase, and the
+// root span carries cancelled=true.
+func TestCompressContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	tb := datagen.CDR(500, 1)
+	tr := obs.NewTrace("compress")
+	var sink countingWriter
+	_, err := core.CompressContext(ctx, &sink, tb, core.Options{Trace: tr})
+	if err == nil {
+		t.Fatal("CompressContext succeeded with a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), core.SpanDependencyFinder) {
+		t.Errorf("error %q does not name the phase it died in", err)
+	}
+	if sink.n != 0 {
+		t.Errorf("%d bytes written despite pre-cancelled context", sink.n)
+	}
+	root := tr.Find(core.SpanCompress)
+	if root == nil {
+		t.Fatal("missing root span")
+	}
+	if v, _ := root.Attr("cancelled").(bool); !v {
+		t.Error("root span not annotated cancelled=true")
+	}
+}
+
+// TestCompressContextMidFlight cancels the context between the first and
+// second phase (via a span observer, so the cancel is deterministically
+// mid-pipeline) and asserts the run aborts promptly, wraps
+// context.Canceled, annotates the dying phase's span, and leaks no
+// goroutines.
+func TestCompressContextMidFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := obs.NewTrace("compress")
+	var cancelledAt time.Time
+	tr.OnSpanEnd(func(sp *obs.Span) {
+		if sp.Name == core.SpanDependencyFinder {
+			cancelledAt = time.Now()
+			cancel()
+		}
+	})
+
+	tb := datagen.CDR(5000, 1)
+	_, err := core.CompressContext(ctx, io.Discard, tb, core.Options{Trace: tr})
+	returned := time.Now()
+	if err == nil {
+		t.Fatal("CompressContext succeeded despite mid-flight cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), core.SpanCaRTSelection) {
+		t.Errorf("error %q does not name the phase it died in", err)
+	}
+	if d := returned.Sub(cancelledAt); d > 100*time.Millisecond {
+		t.Errorf("pipeline took %v after cancel, want <100ms", d)
+	}
+
+	// The cancelled phase's span (and the root) must be annotated.
+	if sp := tr.Find(core.SpanCaRTSelection); sp != nil {
+		if v, _ := sp.Attr("cancelled").(bool); !v {
+			t.Error("cancelled phase span not annotated cancelled=true")
+		}
+	}
+	if root := tr.Find(core.SpanCompress); root != nil {
+		if v, _ := root.Attr("cancelled").(bool); !v {
+			t.Error("root span not annotated cancelled=true")
+		}
+	}
+
+	// No goroutine may outlive the call: poll briefly for workers to
+	// unwind, then compare against the baseline (with slack for the
+	// runtime's own background goroutines).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestCompressContextDeadline drives cancellation through a deadline
+// instead of an explicit cancel, exercising the in-phase checkpoints:
+// the tiny budget expires inside a running phase, not at a boundary.
+func TestCompressContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+
+	tb := datagen.CDR(20000, 1)
+	_, err := core.CompressContext(ctx, io.Discard, tb, core.Options{})
+	if err == nil {
+		t.Skip("machine fast enough to finish inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "spartan: ") {
+		t.Errorf("error %q does not carry the pipeline prefix", err)
+	}
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

@@ -9,9 +9,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -153,8 +156,21 @@ type Stats struct {
 }
 
 // Compress writes the semantically compressed form of t to w and reports
-// statistics. The input table is not modified.
+// statistics. The input table is not modified. It is CompressContext with
+// a background context; long-running or per-request callers should prefer
+// CompressContext so the pipeline can be cancelled.
 func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
+	return CompressContext(context.Background(), w, t, opts)
+}
+
+// CompressContext is Compress with cancellation: the pipeline checks ctx
+// at every phase boundary and inside each phase's long-running inner
+// loops (WMIS candidate rounds, per-node CaRT growth, fascicle seed
+// growth, outlier row batches), so a cancelled or expired context
+// abandons the run within milliseconds. The returned error wraps
+// ctx.Err() together with the phase the run died in, and the trace span
+// of that phase (plus the root) is annotated cancelled=true.
+func CompressContext(ctx context.Context, w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 	if t == nil || t.NumCols() == 0 {
 		return nil, fmt.Errorf("spartan: nil or empty table")
 	}
@@ -190,10 +206,13 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		sample, build, holdout *table.Table
 		net                    *bayesnet.Network
 	)
-	err = runPhase(root, SpanDependencyFinder, &stats.Timings.DependencyFinder, func(sp *obs.Span) error {
+	err = runPhase(ctx, root, SpanDependencyFinder, &stats.Timings.DependencyFinder, func(sp *obs.Span) error {
 		sample = t.SampleBytes(opts.SampleBytes, rng)
-		build, holdout = splitSample(sample)
 		var err error
+		build, holdout, err = splitSample(sample)
+		if err != nil {
+			return fmt.Errorf("spartan: dependency finder: %w", err)
+		}
 		net, err = bayesnet.Build(sample, bayesnet.Config{MaxParents: 6})
 		if err != nil {
 			return fmt.Errorf("spartan: dependency finder: %w", err)
@@ -203,16 +222,20 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, failCompress(root, err)
 	}
 
 	// CaRTSelector. Materialization costs are estimated by entropy-coding
 	// the sample's columns, so the MaterCost-vs-PredCost trade-off matches
 	// what the T' encoder actually achieves.
 	var plan *selector.Result
-	err = runPhase(root, SpanCaRTSelection, &stats.Timings.CaRTSelection, func(sp *obs.Span) error {
+	err = runPhase(ctx, root, SpanCaRTSelection, &stats.Timings.CaRTSelection, func(sp *obs.Span) error {
 		cost := cart.NewCostModel(t)
-		for i, bits := range estimateMaterBits(sample) {
+		materBits, err := estimateMaterBits(sample)
+		if err != nil {
+			return fmt.Errorf("spartan: CaRT selection: %w", err)
+		}
+		for i, bits := range materBits {
 			cost.SetMaterBits(i, bits)
 		}
 		in := selector.Input{
@@ -223,14 +246,13 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 			Cost:    cost,
 			CartCfg: cart.Config{FullRows: t.NumRows(), Prune: opts.Prune},
 		}
-		var err error
 		switch opts.Selection {
 		case SelectGreedy:
-			plan, err = selector.Greedy(in, opts.Theta)
+			plan, err = selector.GreedyContext(ctx, in, opts.Theta)
 		case SelectWMISMarkov:
-			plan, err = selector.MaxIndependentSet(in, selector.MarkovBlanket)
+			plan, err = selector.MaxIndependentSetContext(ctx, in, selector.MarkovBlanket)
 		default:
-			plan, err = selector.MaxIndependentSet(in, selector.Parents)
+			plan, err = selector.MaxIndependentSetContext(ctx, in, selector.Parents)
 		}
 		if err != nil {
 			return fmt.Errorf("spartan: CaRT selection: %w", err)
@@ -249,16 +271,16 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, failCompress(root, err)
 	}
 
 	// RowAggregator: fascicle-quantize the materialized projection without
 	// crossing any CaRT split value.
 	applyTable := t
-	err = runPhase(root, SpanRowAggregation, &stats.Timings.RowAggregation, func(sp *obs.Span) error {
+	err = runPhase(ctx, root, SpanRowAggregation, &stats.Timings.RowAggregation, func(sp *obs.Span) error {
 		if !opts.DisableRowAggregation && len(plan.Materialized) > 0 {
 			var err error
-			applyTable, stats.Fascicles, err = rowAggregate(t, plan, resolved, opts)
+			applyTable, stats.Fascicles, err = rowAggregate(ctx, t, plan, resolved, opts)
 			if err != nil {
 				return fmt.Errorf("spartan: row aggregation: %w", err)
 			}
@@ -267,26 +289,33 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, failCompress(root, err)
 	}
 
 	// Outlier scan: one pass over the full table per model (paper §2.3:
 	// "SPARTAN then uses the CaRTs built to compress the full data set in
 	// one pass").
 	models := make([]*cart.Model, len(plan.Predicted))
-	err = runPhase(root, SpanOutlierScan, &stats.Timings.OutlierScan, func(sp *obs.Span) error {
+	err = runPhase(ctx, root, SpanOutlierScan, &stats.Timings.OutlierScan, func(sp *obs.Span) error {
+		// One scan per predicted attribute, bounded to GOMAXPROCS workers
+		// (the same semaphore pattern the WMIS selector uses) so a wide
+		// table cannot spawn hundreds of full-table scans at once. Each
+		// scan checks ctx between row batches.
 		scanErrs := make([]error, len(plan.Predicted))
 		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for i, a := range plan.Predicted {
 			wg.Add(1)
+			sem <- struct{}{}
 			go func(i, a int) {
 				defer wg.Done()
+				defer func() { <-sem }()
 				m := plan.Models[a]
 				var perClass map[int32]float64
 				if t.Attr(a).Kind == table.Categorical {
 					perClass = resolved[a].ClassBudgets(t.Col(a).Dict)
 				}
-				scanErrs[i] = m.ComputeOutliersBudget(applyTable, resolved[a].Value, perClass)
+				scanErrs[i] = m.ComputeOutliersBudgetContext(ctx, applyTable, resolved[a].Value, perClass)
 				models[i] = m
 			}(i, a)
 		}
@@ -304,11 +333,11 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, failCompress(root, err)
 	}
 
 	// Encode.
-	err = runPhase(root, SpanEncode, &stats.Timings.Encode, func(sp *obs.Span) error {
+	err = runPhase(ctx, root, SpanEncode, &stats.Timings.Encode, func(sp *obs.Span) error {
 		bd, err := codec.Encode(w, applyTable, plan.Materialized, models)
 		if err != nil {
 			return fmt.Errorf("spartan: encoding: %w", err)
@@ -327,47 +356,71 @@ func Compress(w io.Writer, t *table.Table, opts Options) (*Stats, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, failCompress(root, err)
 	}
 	root.SetAttr("ratio", fmt.Sprintf("%.4f", stats.Ratio))
 	return stats, nil
 }
 
-// runPhase runs one pipeline component inside a child span of root. The
-// span's Finish is deferred so an error return (or a panic in fn) can
-// never leak an open span, and the phase's wall-clock time lands in
-// *timing even on failure — partial runs still account their cost.
-func runPhase(root *obs.Span, name string, timing *time.Duration, fn func(sp *obs.Span) error) error {
+// runPhase runs one pipeline component inside a child span of root,
+// refusing to start it at all when ctx is already done (the phase
+// boundary checkpoint). The span's Finish is deferred so an error return
+// (or a panic in fn) can never leak an open span, and the phase's
+// wall-clock time lands in *timing even on failure — partial runs still
+// account their cost. A phase killed by cancellation gets its span
+// annotated cancelled=true.
+func runPhase(ctx context.Context, root *obs.Span, name string, timing *time.Duration, fn func(sp *obs.Span) error) (err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("spartan: %s: %w", name, cerr)
+	}
 	sp := root.StartChild(name)
 	defer func() {
+		if isCancellation(err) {
+			sp.SetAttr("cancelled", true)
+		}
 		sp.Finish()
 		*timing = sp.Duration()
 	}()
 	return fn(sp)
 }
 
+// failCompress marks the root span of a run that died from cancellation
+// and passes the error through, so every error return of CompressContext
+// leaves a correctly-annotated trace.
+func failCompress(root *obs.Span, err error) error {
+	if isCancellation(err) {
+		root.SetAttr("cancelled", true)
+	}
+	return err
+}
+
+// isCancellation reports whether err stems from a done context.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // estimateMaterBits prices each attribute's materialization by running
 // the codec's own column encoder (dictionary/raw + deflate) over the
 // sample column, so the selector's MaterCost reflects real T' bytes.
-func estimateMaterBits(sample *table.Table) []float64 {
+func estimateMaterBits(sample *table.Table) ([]float64, error) {
 	out := make([]float64, sample.NumCols())
 	for i := 0; i < sample.NumCols(); i++ {
 		bits, err := codec.EstimateBitsPerValue(sample.Col(i))
 		if err != nil {
-			panic("spartan: estimating column bits: " + err.Error())
+			return nil, fmt.Errorf("estimating column %d bits: %w", i, err)
 		}
 		out[i] = bits
 	}
-	return out
+	return out, nil
 }
 
 // splitSample partitions the sample into build (3/4) and holdout (1/4)
 // subsets by row position. With fewer than 8 rows the whole sample builds
 // and no holdout is used.
-func splitSample(sample *table.Table) (build, holdout *table.Table) {
+func splitSample(sample *table.Table) (build, holdout *table.Table, err error) {
 	n := sample.NumRows()
 	if n < 8 {
-		return sample, nil
+		return sample, nil, nil
 	}
 	var buildRows, holdRows []int
 	for r := 0; r < n; r++ {
@@ -379,18 +432,18 @@ func splitSample(sample *table.Table) (build, holdout *table.Table) {
 	}
 	b, err := sample.SelectRows(buildRows)
 	if err != nil {
-		panic("spartan: sample split failed: " + err.Error())
+		return nil, nil, fmt.Errorf("sample split: %w", err)
 	}
 	h, err := sample.SelectRows(holdRows)
 	if err != nil {
-		panic("spartan: sample split failed: " + err.Error())
+		return nil, nil, fmt.Errorf("sample split: %w", err)
 	}
-	return b, h
+	return b, h, nil
 }
 
 // rowAggregate runs the fascicle pass over the materialized projection and
 // grafts the quantized columns into a full-width copy of t.
-func rowAggregate(t *table.Table, plan *selector.Result, resolved table.Tolerances, opts Options) (*table.Table, int, error) {
+func rowAggregate(ctx context.Context, t *table.Table, plan *selector.Result, resolved table.Tolerances, opts Options) (*table.Table, int, error) {
 	proj, err := t.Project(plan.Materialized)
 	if err != nil {
 		return nil, 0, err
@@ -404,7 +457,7 @@ func rowAggregate(t *table.Table, plan *selector.Result, resolved table.Toleranc
 			splits[i] = splitsByAttr[a]
 		}
 	}
-	clustering, err := fascicle.Cluster(proj, fascicle.Params{
+	clustering, err := fascicle.ClusterContext(ctx, proj, fascicle.Params{
 		Widths:       widths,
 		SplitValues:  splits,
 		MaxFascicles: opts.MaxFascicles,

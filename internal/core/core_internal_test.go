@@ -10,7 +10,10 @@ import (
 
 func TestSplitSample(t *testing.T) {
 	tb := datagen.CDR(100, 1)
-	build, holdout := splitSample(tb)
+	build, holdout, err := splitSample(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if build.NumRows()+holdout.NumRows() != tb.NumRows() {
 		t.Fatalf("split %d+%d != %d", build.NumRows(), holdout.NumRows(), tb.NumRows())
 	}
@@ -20,7 +23,10 @@ func TestSplitSample(t *testing.T) {
 
 	// Tiny samples skip the holdout entirely.
 	small := datagen.CDR(5, 1)
-	b2, h2 := splitSample(small)
+	b2, h2, err := splitSample(small)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b2 != small || h2 != nil {
 		t.Error("tiny sample should not be split")
 	}
@@ -38,7 +44,10 @@ func TestEstimateMaterBits(t *testing.T) {
 		b.MustAppendRow(7.0, float64(i)*1.37+float64(i%97), "v")
 	}
 	tb := b.MustBuild()
-	bits := estimateMaterBits(tb)
+	bits, err := estimateMaterBits(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bits) != 3 {
 		t.Fatalf("bits = %v", bits)
 	}

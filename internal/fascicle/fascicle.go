@@ -23,6 +23,7 @@
 package fascicle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -118,6 +119,13 @@ type Clustering struct {
 // binary search on per-column sorted indexes, and candidate rows are
 // extracted only from the sparsest chosen attribute.
 func Cluster(t *table.Table, p Params) (*Clustering, error) {
+	return ClusterContext(context.Background(), t, p)
+}
+
+// ClusterContext is Cluster with cancellation: ctx is checked before each
+// seed's growth attempt, so a cancel abandons the clustering within one
+// fascicle and returns the wrapped context error.
+func ClusterContext(ctx context.Context, t *table.Table, p Params) (*Clustering, error) {
 	p, err := p.withDefaults(t)
 	if err != nil {
 		return nil, err
@@ -132,6 +140,9 @@ func Cluster(t *table.Table, p Params) (*Clustering, error) {
 	maxTries := 4*p.MaxFascicles + 64
 	seed, tries := 0, 0
 	for len(fascicles) < p.MaxFascicles && tries < maxTries {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fascicle: clustering cancelled: %w", err)
+		}
 		for seed < n && assigned[seed] {
 			seed++
 		}

@@ -1,5 +1,10 @@
 package selector
 
+import (
+	"context"
+	"fmt"
+)
+
 // Greedy is the paper's low-complexity CaRT-selection algorithm (§3.2):
 // visit the attributes in the topological order of the Bayesian network;
 // roots are materialized; every other attribute gets a CaRT built from the
@@ -7,6 +12,13 @@ package selector
 // storage benefit MaterCost/PredCost is at least theta. At most n-1 CaRTs
 // are built.
 func Greedy(in Input, theta float64) (*Result, error) {
+	return GreedyContext(context.Background(), in, theta)
+}
+
+// GreedyContext is Greedy with cancellation: ctx is checked before each
+// attribute's CaRT construction, so a cancel abandons the traversal within
+// one tree build and returns the wrapped context error.
+func GreedyContext(ctx context.Context, in Input, theta float64) (*Result, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -17,11 +29,14 @@ func Greedy(in Input, theta float64) (*Result, error) {
 	var materialized []int
 	built := 0
 	for _, xi := range in.Net.TopoOrder() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("selector: greedy selection cancelled: %w", err)
+		}
 		if len(in.Net.Parents(xi)) == 0 {
 			materialized = append(materialized, xi)
 			continue
 		}
-		est, ok := buildEstimate(in, xi, materialized)
+		est, ok := buildEstimate(ctx, in, xi, materialized)
 		built++
 		if !ok || est.cost <= 0 {
 			materialized = append(materialized, xi)

@@ -1,6 +1,8 @@
 package selector
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +28,14 @@ import (
 //
 // Iterations continue until no positive-benefit set exists.
 func MaxIndependentSet(in Input, nb Neighborhood) (*Result, error) {
+	return MaxIndependentSetContext(context.Background(), in, nb)
+}
+
+// MaxIndependentSetContext is MaxIndependentSet with cancellation: ctx is
+// checked at the top of every WMIS iteration (each buildCandidate round)
+// and inside every CaRT construction, so a cancel abandons the search
+// within one tree build and returns the wrapped context error.
+func MaxIndependentSetContext(ctx context.Context, in Input, nb Neighborhood) (*Result, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -45,6 +55,9 @@ func MaxIndependentSet(in Input, nb Neighborhood) (*Result, error) {
 	}
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("selector: WMIS iteration cancelled: %w", err)
+		}
 		// Step 1-2: candidate CaRT + rewiring estimates per materialized
 		// attribute. Each Xᵢ's work reads only immutable iteration state,
 		// so the (expensive) CaRT constructions run in parallel; results
@@ -59,10 +72,13 @@ func MaxIndependentSet(in Input, nb Neighborhood) (*Result, error) {
 			go func(si, xi int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				slots[si] = buildCandidate(in, xi, neighborhood(xi), mat, predicted)
+				slots[si] = buildCandidate(ctx, in, xi, neighborhood(xi), mat, predicted)
 			}(si, xi)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("selector: WMIS iteration cancelled: %w", err)
+		}
 
 		cand := map[int]*estimate{}            // Xᵢ -> candidate model
 		newPred := map[int]map[int]*estimate{} // Xᵢ -> (Xⱼ -> rewired model)
@@ -138,7 +154,7 @@ func MaxIndependentSet(in Input, nb Neighborhood) (*Result, error) {
 			predicted[xi] = cand[xi]
 			delete(mat, xi)
 		}
-		built += repairPlan(in, mat, predicted)
+		built += repairPlan(ctx, in, mat, predicted)
 	}
 
 	res := finishResult(in, predicted, built)
@@ -153,7 +169,7 @@ func MaxIndependentSet(in Input, nb Neighborhood) (*Result, error) {
 // attributes only; if that fails, the attribute reverts to materialized
 // (which is always safe: predicted attributes are never predictors).
 // Returns the number of CaRTs built.
-func repairPlan(in Input, mat map[int]bool, predicted map[int]*estimate) int {
+func repairPlan(ctx context.Context, in Input, mat map[int]bool, predicted map[int]*estimate) int {
 	built := 0
 	for changed := true; changed; {
 		changed = false
@@ -189,7 +205,7 @@ func repairPlan(in Input, mat map[int]bool, predicted map[int]*estimate) int {
 				candList = append(candList, c)
 			}
 			sort.Ints(candList)
-			newEst, ok := buildEstimate(in, xj, candList)
+			newEst, ok := buildEstimate(ctx, in, xj, candList)
 			if len(candList) > 0 {
 				built++
 			}
@@ -218,10 +234,10 @@ type candidateSlot struct {
 // attribute: build its candidate CaRT from the materialized neighborhood,
 // then estimate the rewiring cost for every selected CaRT that currently
 // uses it.
-func buildCandidate(in Input, xi int, neigh []int, mat map[int]bool, predicted map[int]*estimate) candidateSlot {
+func buildCandidate(ctx context.Context, in Input, xi int, neigh []int, mat map[int]bool, predicted map[int]*estimate) candidateSlot {
 	var s candidateSlot
 	cands := materNeighbors(xi, neigh, mat, predicted)
-	est, ok := buildEstimate(in, xi, cands)
+	est, ok := buildEstimate(ctx, in, xi, cands)
 	if len(cands) > 0 {
 		s.built++
 	}
@@ -238,7 +254,7 @@ func buildCandidate(in Input, xi int, neigh []int, mat map[int]bool, predicted m
 			continue
 		}
 		np := union(remove(predicted[xj].used, xi), est.used)
-		newEst, ok2 := buildEstimate(in, xj, np)
+		newEst, ok2 := buildEstimate(ctx, in, xj, np)
 		s.built++
 		if !ok2 {
 			continue

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestRepairPlanRebuilds(t *testing.T) {
 		1: {model: leaf(1), used: []int{0}, cost: 10},
 		2: {model: leaf(2), used: []int{1}, cost: 10}, // violates: 1 is predicted
 	}
-	built := repairPlan(in, mat, predicted)
+	built := repairPlan(context.Background(), in, mat, predicted)
 	if built == 0 {
 		t.Error("repairPlan built nothing despite a violation")
 	}
@@ -84,7 +85,7 @@ func TestRepairPlanRevertsWhenRebuildImpossible(t *testing.T) {
 	predicted := map[int]*estimate{
 		2: {model: leaf(2), used: []int{1}, cost: 10}, // 1 is not materialized
 	}
-	repairPlan(in, mat, predicted)
+	repairPlan(context.Background(), in, mat, predicted)
 	if _, ok := predicted[2]; ok {
 		t.Error("unsalvageable predicted attribute was not reverted")
 	}

@@ -14,6 +14,7 @@
 package selector
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -144,15 +145,17 @@ type estimate struct {
 
 // buildEstimate builds a CaRT for target from cands and packages the
 // result; an empty candidate set yields cost +Inf (the paper's PredCost=∞
-// convention for root attributes).
-func buildEstimate(in Input, target int, cands []int) (estimate, bool) {
+// convention for root attributes). A build abandoned by ctx cancellation
+// also reports ok=false; callers check ctx at their loop boundaries and
+// surface the context error from there.
+func buildEstimate(ctx context.Context, in Input, target int, cands []int) (estimate, bool) {
 	if in.buildFn != nil {
 		return in.buildFn(in, target, cands)
 	}
 	if len(cands) == 0 {
 		return estimate{cost: math.Inf(1)}, false
 	}
-	m, cost, err := cart.Build(in.Sample, target, cands, in.Tol[target].Value, in.Cost, in.CartCfg)
+	m, cost, err := cart.BuildContext(ctx, in.Sample, target, cands, in.Tol[target].Value, in.Cost, in.CartCfg)
 	if err != nil {
 		return estimate{cost: math.Inf(1)}, false
 	}

@@ -21,7 +21,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -38,7 +40,8 @@ import (
 	"repro/internal/table"
 )
 
-// maxRequestBytes bounds request bodies (tables and compressed streams).
+// maxRequestBytes is the default request-body bound (tables and
+// compressed streams); see WithMaxBodyBytes.
 const maxRequestBytes = 1 << 30
 
 // Server carries the service's dependencies: a structured logger and a
@@ -47,6 +50,14 @@ type Server struct {
 	log *slog.Logger
 	reg *obs.Registry
 	m   metrics
+
+	maxBodyBytes   int64
+	requestTimeout time.Duration
+	// pipelineSem admits at most maxConcurrent pipeline-running requests
+	// (/compress and /query); nil means unlimited. Excess requests are
+	// rejected with 429 rather than queued, so a saturated service sheds
+	// load instead of stacking up memory-hungry pipelines.
+	pipelineSem chan struct{}
 }
 
 // metrics is the full metric set; names are documented in
@@ -57,6 +68,9 @@ type metrics struct {
 	inFlight      obs.Gauge     // spartan_http_in_flight_requests
 	panics        obs.Counter   // spartan_http_panics_total
 	responseBytes obs.Counter   // spartan_http_response_bytes_total{route}
+
+	rejected  obs.Counter // spartan_http_rejected_total{reason}
+	pipelines obs.Gauge   // spartan_pipelines_in_flight
 
 	ratio          obs.Histogram // spartan_compress_ratio
 	predictedAttrs obs.Histogram // spartan_compress_predicted_attributes
@@ -78,21 +92,89 @@ func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
 // listener.
 func WithRegistry(r *obs.Registry) Option { return func(s *Server) { s.reg = r } }
 
+// WithMaxConcurrent bounds how many pipeline-running requests (/compress
+// and /query) may execute at once; excess requests get 429 with a
+// Retry-After hint. n <= 0 (the default) means unlimited.
+func WithMaxConcurrent(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.pipelineSem = make(chan struct{}, n)
+		} else {
+			s.pipelineSem = nil
+		}
+	}
+}
+
+// WithRequestTimeout bounds how long a pipeline-running request may take;
+// a compression that overruns is cancelled and answered with 503.
+// d <= 0 (the default) means no timeout beyond the client's own.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithMaxBodyBytes bounds request bodies; larger uploads are rejected
+// with 413 (default 1 GiB).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBodyBytes = n
+		}
+	}
+}
+
 // New returns the service's HTTP handler.
 func New(opts ...Option) http.Handler {
-	s := &Server{log: slog.Default(), reg: obs.NewRegistry()}
+	return newServer(opts...).routes()
+}
+
+// newServer builds the Server without its mux, so in-package tests can
+// reach the semaphore and options directly.
+func newServer(opts ...Option) *Server {
+	s := &Server{log: slog.Default(), reg: obs.NewRegistry(), maxBodyBytes: maxRequestBytes}
 	for _, o := range opts {
 		o(s)
 	}
 	s.m = newMetrics(s.reg)
+	return s
+}
 
+func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", handleHealth))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.reg.Handler().ServeHTTP))
-	mux.Handle("POST /compress", s.instrument("/compress", s.handleCompress))
+	mux.Handle("POST /compress", s.instrument("/compress", s.limit(s.handleCompress)))
 	mux.Handle("POST /decompress", s.instrument("/decompress", s.handleDecompress))
-	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
+	mux.Handle("POST /query", s.instrument("/query", s.limit(s.handleQuery)))
 	return mux
+}
+
+// limit is the overload-protection middleware for pipeline-running
+// routes: it enforces the concurrency cap (429 + Retry-After when
+// saturated), starts the per-request timeout, and maintains the
+// in-flight-pipelines gauge.
+func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.pipelineSem != nil {
+			select {
+			case s.pipelineSem <- struct{}{}:
+				defer func() { <-s.pipelineSem }()
+			default:
+				s.m.rejected.Inc("concurrency")
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests,
+					fmt.Errorf("server at capacity (%d pipelines in flight)", cap(s.pipelineSem)))
+				return
+			}
+		}
+		s.m.pipelines.Add(1)
+		defer s.m.pipelines.Add(-1)
+		if s.requestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -123,6 +205,10 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Raw (uncompressed) bytes accepted by /compress."),
 		outBytes: reg.Counter("spartan_compress_compressed_bytes_total",
 			"Compressed bytes produced by /compress."),
+		rejected: reg.Counter("spartan_http_rejected_total",
+			"Requests rejected by overload protection, by reason (concurrency, timeout, body_too_large).", "reason"),
+		pipelines: reg.Gauge("spartan_pipelines_in_flight",
+			"Compression/query pipelines currently executing."),
 	}
 }
 
@@ -139,13 +225,25 @@ func httpError(w http.ResponseWriter, code int, err error) {
 
 // readTableBody parses the request body as CSV (text/csv) or the raw
 // binary table format (anything else).
-func readTableBody(r *http.Request) (*table.Table, error) {
-	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+func (s *Server) readTableBody(r *http.Request) (*table.Table, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "text/csv" {
 		return table.ReadCSV(body, nil)
 	}
 	return table.ReadBinary(body)
+}
+
+// bodyError answers a failed request-body read: 413 when the configured
+// body limit truncated it, 400 for everything else.
+func (s *Server) bodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.m.rejected.Inc("body_too_large")
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
 }
 
 // tolerancesFromQuery builds the tolerance vector from request
@@ -190,9 +288,9 @@ var timingHeaders = []struct {
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	t, err := readTableBody(r)
+	t, err := s.readTableBody(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	tol, numericTol, err := tolerancesFromQuery(r, t)
@@ -231,8 +329,17 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if hint := t.RawSizeBytes() / 4; hint > 0 {
 		buf.Grow(min(hint, 64<<20))
 	}
-	stats, err := core.Compress(&buf, t, opts)
-	if err != nil {
+	stats, err := core.CompressContext(r.Context(), &buf, t, opts)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request timeout cancelled the pipeline mid-flight.
+		s.m.rejected.Inc("timeout")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.Canceled):
+		return // client went away; nothing useful to answer
+	default:
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -259,10 +366,10 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
 	t, err := core.Decompress(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
 	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/csv") {
@@ -291,10 +398,19 @@ type queryGroupDTO struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(nil, r.Body, maxRequestBytes)
+	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
 	t, err := core.Decompress(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
+		return
+	}
+	// Decompression can eat most of a tight request timeout; bail before
+	// the aggregation stage if the deadline already passed.
+	if err := r.Context().Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.m.rejected.Inc("timeout")
+			httpError(w, http.StatusServiceUnavailable, err)
+		}
 		return
 	}
 	q := r.URL.Query()

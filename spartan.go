@@ -31,6 +31,7 @@
 package spartan
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cart"
@@ -144,6 +145,14 @@ func UniformTolerances(t *Table, numericFrac, catProb float64) Tolerances {
 // statistics. The input table is not modified.
 func Compress(w io.Writer, t *Table, opts Options) (*Stats, error) {
 	return core.Compress(w, t, opts)
+}
+
+// CompressContext is Compress with cancellation: the pipeline checks ctx
+// at every phase boundary and inside long-running phases, so a cancelled
+// or expired context aborts the compression promptly with an error
+// wrapping ctx.Err().
+func CompressContext(ctx context.Context, w io.Writer, t *Table, opts Options) (*Stats, error) {
+	return core.CompressContext(ctx, w, t, opts)
 }
 
 // Decompress reconstructs a table from a stream produced by Compress.
