@@ -1,4 +1,4 @@
-// Spartanvet is SPARTAN's domain-aware static-analysis suite: ten
+// Spartanvet is SPARTAN's domain-aware static-analysis suite:
 // analyzers that encode invariants the Go compiler cannot see. Six are
 // syntactic (raw float equality on tolerances, unfinished pipeline
 // spans, unbalanced registry locks, swallowed archive-write errors,
@@ -7,7 +7,13 @@
 // and dataflow solver in internal/analysis/cfg and
 // internal/analysis/dataflow (values used on proven-error paths, defers
 // accumulating inside per-row loops, WaitGroup Add/Done discipline,
-// hint-less allocations in row-bounded loops). An eleventh synthetic
+// hint-less allocations in row-bounded loops); two are interprocedural,
+// built on the call graph and function summaries in
+// internal/analysis/callgraph and internal/analysis/summary (taintalloc:
+// untrusted wire integers reaching allocations unguarded, sizeoverflow:
+// overflow-prone arithmetic on wire values), fed by the funcsummary fact
+// producer, which hands per-function dataflow summaries across package
+// boundaries through vet's .vetx fact files. A synthetic
 // check, staleignore, flags //spartanvet:ignore directives that no
 // longer suppress anything.
 //
@@ -43,7 +49,10 @@ import (
 	"repro/internal/analysis/lockbalance"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/nilflow"
+	"repro/internal/analysis/sizeoverflow"
 	"repro/internal/analysis/spanfinish"
+	"repro/internal/analysis/summary"
+	"repro/internal/analysis/taintalloc"
 	"repro/internal/analysis/unitchecker"
 	"repro/internal/analysis/wgbalance"
 )
@@ -60,5 +69,8 @@ func main() {
 		deferloop.Analyzer,
 		wgbalance.Analyzer,
 		hotalloc.Analyzer,
+		summary.Analyzer,
+		taintalloc.Analyzer,
+		sizeoverflow.Analyzer,
 	})
 }

@@ -1,0 +1,228 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func load(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := cfg.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info
+}
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	f, info := load(t, src)
+	return Build([]*ast.File{f}, info)
+}
+
+// edges flattens a node's outgoing edges to "callee" /
+// "callee?" (dynamic with declared target) / "?" (fully dynamic).
+func edges(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		switch {
+		case e.Callee != nil && e.Dynamic:
+			out = append(out, e.Callee.Name()+"?")
+		case e.Callee != nil:
+			out = append(out, e.Callee.Name())
+		default:
+			out = append(out, "?")
+		}
+	}
+	return out
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+func TestStaticResolution(t *testing.T) {
+	g := build(t, `package p
+
+type T struct{}
+
+func (T) M() int  { return helper() }
+func (*T) P()     {}
+func helper() int { return 0 }
+
+func top() {
+	var t T
+	_ = t.M()
+	t.P()
+	_ = helper()
+	_ = len("x")      // builtin: no edge
+	_ = int64(0)      // conversion: no edge
+}
+`)
+	top := nodeByName(t, g, "top")
+	got := edges(top)
+	want := []string{"M", "P", "helper"}
+	if len(got) != len(want) {
+		t.Fatalf("top edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top edges = %v, want %v", got, want)
+		}
+	}
+	// Static in-package edges must link to the callee's node.
+	for _, e := range top.Out {
+		if e.Node == nil {
+			t.Errorf("edge to %s has no in-package node", e.Callee.Name())
+		}
+	}
+	// M's call to helper is also in the graph.
+	m := nodeByName(t, g, "M")
+	if got := edges(m); len(got) != 1 || got[0] != "helper" {
+		t.Fatalf("M edges = %v, want [helper]", got)
+	}
+}
+
+func TestDynamicEdges(t *testing.T) {
+	g := build(t, `package p
+
+type I interface{ M() }
+
+type C struct{ fn func() }
+
+func viaIface(i I)    { i.M() }
+func viaValue(f func()) { f() }
+func viaField(c C)    { c.fn() }
+func viaLit()         { func() {}() }
+`)
+	for name, wantCallee := range map[string]bool{
+		"viaIface": true,  // declared interface method is known
+		"viaValue": false, // pure function value
+		"viaField": false,
+		"viaLit":   false,
+	} {
+		n := nodeByName(t, g, name)
+		if len(n.Out) != 1 {
+			t.Fatalf("%s: %d edges, want 1", name, len(n.Out))
+		}
+		e := n.Out[0]
+		if !e.Dynamic {
+			t.Errorf("%s: edge not dynamic", name)
+		}
+		if (e.Callee != nil) != wantCallee {
+			t.Errorf("%s: callee = %v, want present=%v", name, e.Callee, wantCallee)
+		}
+		if e.Node != nil {
+			t.Errorf("%s: dynamic edge must not bind an in-package node", name)
+		}
+	}
+}
+
+func TestFuncLitCallsAttributedToDecl(t *testing.T) {
+	g := build(t, `package p
+
+func helper() {}
+
+func spawn() {
+	go func() { helper() }()
+}
+`)
+	n := nodeByName(t, g, "spawn")
+	var sawHelper bool
+	for _, e := range n.Out {
+		if e.Callee != nil && e.Callee.Name() == "helper" {
+			sawHelper = true
+		}
+	}
+	if !sawHelper {
+		t.Fatalf("spawn edges = %v: call inside func literal not attributed to spawn", edges(n))
+	}
+}
+
+// TestSCCOrder checks the bottom-up guarantee: every SCC appears after
+// the SCCs it calls into, and mutually recursive functions share one.
+func TestSCCOrder(t *testing.T) {
+	g := build(t, `package p
+
+func leaf() int { return 1 }
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func root() int {
+	if even(3) {
+		return leaf()
+	}
+	return leaf() + 1
+}
+`)
+	sccs := g.SCCs()
+	pos := map[string]int{} // func name → SCC index
+	for i, scc := range sccs {
+		for _, n := range scc {
+			pos[n.Func.Name()] = i
+		}
+	}
+	if pos["even"] != pos["odd"] {
+		t.Fatalf("even (scc %d) and odd (scc %d) must share an SCC", pos["even"], pos["odd"])
+	}
+	if !(pos["leaf"] < pos["root"]) {
+		t.Errorf("leaf scc %d not before root scc %d", pos["leaf"], pos["root"])
+	}
+	if !(pos["even"] < pos["root"]) {
+		t.Errorf("even/odd scc %d not before root scc %d", pos["even"], pos["root"])
+	}
+	// Self-recursion is a single-node SCC, still ordered before callers.
+	g2 := build(t, `package p
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+func use() int { return fact(5) }
+`)
+	sccs2 := g2.SCCs()
+	pos2 := map[string]int{}
+	for i, scc := range sccs2 {
+		for _, n := range scc {
+			pos2[n.Func.Name()] = i
+		}
+	}
+	if !(pos2["fact"] < pos2["use"]) {
+		t.Errorf("fact scc %d not before use scc %d", pos2["fact"], pos2["use"])
+	}
+}

@@ -316,6 +316,141 @@ out:
 	}
 }
 
+// TestGotoGolden pins the full graph for both goto directions: a
+// backward goto forms a loop through its label block (.3→.2), and a
+// forward goto jumps over the fallthrough path into a late label.
+func TestGotoGolden(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(n int) int {
+	i := 0
+retry:
+	if i < n {
+		i++
+		goto retry
+	}
+	if n < 0 {
+		goto fail
+	}
+	return i
+fail:
+	return -1
+}`)
+	checkDump(t, g, fset, `.0 entry
+	i := 0
+	→ 2
+.1 exit
+.2 label.retry
+	i < n
+	→ 3 4
+.3 if.then
+	i++
+	goto retry
+	→ 2
+.4 if.done
+	n < 0
+	→ 5 6
+.5 if.then
+	goto fail
+	→ 7
+.6 if.done
+	return i
+	→ 1
+.7 label.fail
+	return -1
+	→ 1
+`)
+	// The backward goto makes the label block cyclic; the forward
+	// target is not.
+	inLoop := g.LoopBlocks()
+	if !inLoop[2] || !inLoop[3] {
+		t.Error("backward-goto loop (.2/.3) not classified as cyclic")
+	}
+	if inLoop[7] {
+		t.Error("forward-goto target (.7) misclassified as cyclic")
+	}
+}
+
+// TestLabeledSelectGolden pins the interaction of labeled break and
+// continue with a select nested two loops deep: `continue drain` must
+// edge to the outer header (no post on a bare for), `break drain` to
+// the outer done, and an unlabeled break inside a comm clause to
+// select.done — NOT out of the inner for loop.
+func TestLabeledSelectGolden(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(jobs chan int, quit chan struct{}) int {
+	total := 0
+drain:
+	for {
+		for retries := 0; retries < 3; retries++ {
+			select {
+			case v := <-jobs:
+				if v < 0 {
+					continue drain
+				}
+				total += v
+			case <-quit:
+				break drain
+			default:
+				break
+			}
+		}
+	}
+	return total
+}`)
+	checkDump(t, g, fset, `.0 entry
+	total := 0
+	→ 2
+.1 exit
+.2 label.drain
+	→ 3
+.3 for.header
+	→ 4
+.4 for.body
+	retries := 0
+	→ 6
+.5 for.done
+	return total
+	→ 1
+.6 for.header
+	retries < 3
+	→ 7 8
+.7 for.body
+	→ 11 14 15
+.8 for.done
+	→ 3
+.9 for.post
+	retries++
+	→ 6
+.10 select.done
+	→ 9
+.11 select.comm
+	v := <-jobs
+	v < 0
+	→ 12 13
+.12 if.then
+	continue drain
+	→ 3
+.13 if.done
+	total += v
+	→ 10
+.14 select.comm
+	<-quit
+	break drain
+	→ 5
+.15 select.default
+	break
+	→ 10
+`)
+	// break drain leaves every loop: the outer done block is acyclic.
+	inLoop := g.LoopBlocks()
+	if inLoop[5] {
+		t.Error("outer for.done (.5) misclassified as in-loop")
+	}
+	if !inLoop[11] || !inLoop[15] {
+		t.Error("select clauses inside the loops (.11/.15) must be cyclic")
+	}
+}
+
 func TestDefersCollected(t *testing.T) {
 	g, _ := buildFunc(t, `
 func f() {

@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet is the naive reference model for BitSet: a plain map of
+// elements. Every BitSet operation has a one-line map equivalent, so
+// any divergence under a random op sequence is a BitSet bug (word
+// indexing, boundary at multiples of 64, aliasing between results).
+type refSet map[int]bool
+
+func (r refSet) clone() refSet {
+	out := make(refSet, len(r))
+	for k := range r {
+		out[k] = true
+	}
+	return out
+}
+
+func (r refSet) with(i int) refSet    { out := r.clone(); out[i] = true; return out }
+func (r refSet) without(i int) refSet { out := r.clone(); delete(out, i); return out }
+
+func (r refSet) union(t refSet) refSet {
+	out := r.clone()
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+func (r refSet) diff(t refSet) refSet {
+	out := r.clone()
+	for k := range t {
+		delete(out, k)
+	}
+	return out
+}
+
+func (r refSet) elems() []int {
+	out := make([]int, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (r refSet) equal(t refSet) bool {
+	if len(r) != len(t) {
+		return false
+	}
+	for k := range r {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstRef verifies a BitSet agrees with its reference on Elems
+// and on Has for every index in the universe.
+func checkAgainstRef(t *testing.T, label string, n int, s BitSet, r refSet) {
+	t.Helper()
+	got, want := s.Elems(), r.elems()
+	if len(got) != len(want) {
+		t.Fatalf("%s: Elems = %v, want %v", label, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: Elems = %v, want %v", label, got, want)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.Has(i) != r[i] {
+			t.Fatalf("%s: Has(%d) = %v, want %v", label, i, s.Has(i), r[i])
+		}
+	}
+}
+
+// TestBitSetDifferential runs randomized op sequences over a growing
+// pool of sets, mirroring every operation in the map reference and
+// comparing after each step. Capacities straddle the 64-bit word
+// boundary where the indexing math can go wrong, and the final sweep
+// re-checks every set produced along the way — a result that was
+// mutated in place by a later With/Union (broken immutability) fails
+// there even if it matched when created.
+func TestBitSetDifferential(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 130} {
+		rng := rand.New(rand.NewSource(int64(0x5eed + n)))
+		sets := []BitSet{NewBitSet(n)}
+		refs := []refSet{{}}
+		pick := func() int { return rng.Intn(len(sets)) }
+		for step := 0; step < 400; step++ {
+			var (
+				s     BitSet
+				r     refSet
+				label string
+			)
+			switch op := rng.Intn(5); op {
+			case 0:
+				i, j := pick(), rng.Intn(n)
+				s, r, label = sets[i].With(j), refs[i].with(j), "With"
+			case 1:
+				i, j := pick(), rng.Intn(n)
+				s, r, label = sets[i].Without(j), refs[i].without(j), "Without"
+			case 2:
+				i, j := pick(), pick()
+				s, r, label = sets[i].Union(sets[j]), refs[i].union(refs[j]), "Union"
+			case 3:
+				i, j := pick(), pick()
+				s, r, label = sets[i].Diff(sets[j]), refs[i].diff(refs[j]), "Diff"
+			case 4:
+				i := pick()
+				s, r, label = sets[i].Clone(), refs[i].clone(), "Clone"
+			}
+			checkAgainstRef(t, label, n, s, r)
+			// Equal must agree with the reference for a random pair.
+			i, j := pick(), pick()
+			if sets[i].Equal(sets[j]) != refs[i].equal(refs[j]) {
+				t.Fatalf("n=%d step %d: Equal(sets[%d], sets[%d]) = %v, reference says %v",
+					n, step, i, j, sets[i].Equal(sets[j]), refs[i].equal(refs[j]))
+			}
+			sets = append(sets, s)
+			refs = append(refs, r)
+			if len(sets) > 32 { // keep the pool bounded but churning
+				drop := rng.Intn(len(sets))
+				sets = append(sets[:drop], sets[drop+1:]...)
+				refs = append(refs[:drop], refs[drop+1:]...)
+			}
+		}
+		// Immutability sweep: every surviving set must still match the
+		// reference snapshot taken when it was produced.
+		for i := range sets {
+			checkAgainstRef(t, "final sweep", n, sets[i], refs[i])
+		}
+	}
+}

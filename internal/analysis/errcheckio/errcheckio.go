@@ -35,17 +35,20 @@ var Analyzer = &analysis.Analyzer{
 	Name: "errcheckio",
 	Doc: "flag discarded errors on io.Writer/encoding calls in codec and archive\n\n" +
 		"A swallowed short write silently corrupts the archive; check every\n" +
-		"error, or assign it to _ to mark an intentional discard. In server,\n" +
-		"only Flush/Close on buffered writers and io-package functions are\n" +
-		"flagged: those lose the buffered tail of a response.",
+		"error, or assign it to _ to mark an intentional discard. In server\n" +
+		"and the spartand daemon, only Flush/Close on buffered writers and\n" +
+		"io-package functions are flagged: those lose the buffered tail of\n" +
+		"a response.",
 	Run: run,
 }
 
 // broadScope packages get the full any-receiver method net; narrowScope
 // packages only the buffered-writer Flush/Close and io-function checks.
+// The spartand daemon shares server's handler shapes (buffered response
+// writers, streamed archive bodies) and gets the same narrow net.
 var (
 	broadScope  = []string{"codec", "archive"}
-	narrowScope = []string{"server"}
+	narrowScope = []string{"server", "spartand"}
 )
 
 // ioMethods are method names whose dropped error is flagged.

@@ -14,3 +14,7 @@ func TestErrcheckio(t *testing.T) {
 func TestErrcheckioServerScope(t *testing.T) {
 	analyzertest.Run(t, "../testdata", errcheckio.Analyzer, "server")
 }
+
+func TestErrcheckioSpartandScope(t *testing.T) {
+	analyzertest.Run(t, "../testdata", errcheckio.Analyzer, "spartand")
+}

@@ -5,6 +5,13 @@
 // panic at runtime (obs.Registry.register); this analyzer moves both
 // failure modes to `make lint`, before a bad dashboard identifier or a
 // label-schema drift ever ships.
+//
+// Use sites are checked too: when a Counter/Gauge/Histogram value can
+// be traced to its registration (a direct chain, a := binding, or a
+// struct field set from a registration call), every Inc/Add/Set/Observe
+// must pass exactly as many label values as the metric declared label
+// names — `spartan_http_rejected_total{reason}` updated without its
+// reason (or with two) panics in obs.family.child at runtime.
 package metricname
 
 import (
@@ -23,7 +30,9 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flag metric registrations with invalid Prometheus names or inconsistent label sets\n\n" +
 		"Names must match [a-zA-Z_:][a-zA-Z0-9_:]*, labels must match\n" +
 		"[a-zA-Z_][a-zA-Z0-9_]* and not use the reserved __ prefix or le,\n" +
-		"and re-registrations must repeat the same label names.",
+		"and re-registrations must repeat the same label names. Update\n" +
+		"calls (Inc/Add/Set/Observe) must pass exactly the declared number\n" +
+		"of label values; the registry panics on a mismatch at runtime.",
 	Run: run,
 }
 
@@ -90,7 +99,183 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	checkUseSites(pass)
 	return nil
+}
+
+// useMethods maps update method names (on Counter/Gauge/Histogram
+// receivers) to the argument index where label values begin.
+var useMethods = map[string]int{
+	"Inc": 0, "Add": 1, "Set": 1, "Observe": 1,
+}
+
+// metricKinds are the named receiver types whose update calls are
+// arity-checked against the registration.
+var metricKinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// metricDecl is what a registration promises: the metric name and its
+// declared label names.
+type metricDecl struct {
+	name   string
+	labels []string
+}
+
+// checkUseSites verifies every traceable Inc/Add/Set/Observe call
+// passes exactly as many label values as the metric declared labels.
+func checkUseSites(pass *analysis.Pass) {
+	decls, ambiguous := collectBindings(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			start, ok := useMethods[sel.Sel.Name]
+			if !ok || !metricReceiver(pass, sel.X) {
+				return true
+			}
+			var d metricDecl
+			var known bool
+			if inner, isCall := unparen(sel.X).(*ast.CallExpr); isCall {
+				d, known = registrationOf(pass, inner)
+			} else if obj := bindingObject(pass, sel.X); obj != nil && !ambiguous[obj] {
+				d, known = decls[obj]
+			}
+			if !known {
+				return true
+			}
+			if got := len(call.Args) - start; got >= 0 && got != len(d.labels) {
+				pass.Reportf(call.Pos(), "metric %q declares %d label(s) [%s] but %s passes %d label value(s) (obs panics on this at runtime)",
+					d.name, len(d.labels), strings.Join(d.labels, " "), sel.Sel.Name, got)
+			}
+			return true
+		})
+	}
+}
+
+// collectBindings maps variables and struct fields to the registration
+// that produced them: `c := r.Counter(...)`, `var c = r.Counter(...)`,
+// `m.reqs = r.Counter(...)` and `&metrics{reqs: r.Counter(...)}` all
+// count. A binding fed by a non-constant registration, or by two
+// registrations with different label sets, is ambiguous and exempt.
+func collectBindings(pass *analysis.Pass) (map[types.Object]metricDecl, map[types.Object]bool) {
+	decls := map[types.Object]metricDecl{}
+	ambiguous := map[types.Object]bool{}
+	record := func(target ast.Expr, call *ast.CallExpr) {
+		obj := bindingObject(pass, target)
+		if obj == nil {
+			return
+		}
+		d, ok := registrationOf(pass, call)
+		if !ok {
+			ambiguous[obj] = true
+			return
+		}
+		if prev, dup := decls[obj]; dup && !sameLabels(prev.labels, d.labels) {
+			ambiguous[obj] = true
+			return
+		}
+		decls[obj] = d
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					if call, ok := unparen(rhs).(*ast.CallExpr); ok && isRegistryCall(pass, call) {
+						record(x.Lhs[i], call)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) != len(x.Values) {
+					return true
+				}
+				for i, v := range x.Values {
+					if call, ok := unparen(v).(*ast.CallExpr); ok && isRegistryCall(pass, call) {
+						record(x.Names[i], call)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if call, ok := unparen(x.Value).(*ast.CallExpr); ok && isRegistryCall(pass, call) {
+					if key, ok := x.Key.(*ast.Ident); ok {
+						record(key, call)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return decls, ambiguous
+}
+
+// registrationOf extracts the metric name and label set of a
+// registration call when both are compile-time constants.
+func registrationOf(pass *analysis.Pass, call *ast.CallExpr) (metricDecl, bool) {
+	start, ok := registryCall(pass, call)
+	if !ok || len(call.Args) == 0 {
+		return metricDecl{}, false
+	}
+	name, isConst := constString(pass, call.Args[0])
+	if !isConst {
+		return metricDecl{}, false
+	}
+	labels, allConst := labelArgs(pass, call, start)
+	if !allConst {
+		return metricDecl{}, false
+	}
+	return metricDecl{name: name, labels: labels}, true
+}
+
+func isRegistryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	_, ok := registryCall(pass, call)
+	return ok
+}
+
+// bindingObject resolves the object a registration is bound to: a
+// variable for ident targets, the struct field for selector targets
+// and composite-literal keys.
+func bindingObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Defs[x]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// metricReceiver reports whether e's type is a named Counter, Gauge or
+// Histogram (possibly behind a pointer).
+func metricReceiver(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && metricKinds[named.Obj().Name()]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }
 
 // registryCall reports whether call is a registration method on a

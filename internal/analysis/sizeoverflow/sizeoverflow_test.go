@@ -1,0 +1,12 @@
+package sizeoverflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/sizeoverflow"
+)
+
+func TestSizeoverflow(t *testing.T) {
+	analyzertest.Run(t, "../testdata", sizeoverflow.Analyzer, "sizeoverflow")
+}

@@ -1,0 +1,147 @@
+package taintalloc_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/taintalloc"
+)
+
+// TestSeedMutation is the analyzer's self-test against the invariant it
+// exists to protect: testdata/seedmutation/decode.go is a faithful
+// stdlib-only mirror of the real codec decode path, guarded by the
+// DecodeLimits discipline. The guarded form must analyze clean, and
+// mechanically deleting the limit checks — the seed mutation a careless
+// refactor would make — must reproduce taintalloc findings with the
+// full source→sink path attached.
+func TestSeedMutation(t *testing.T) {
+	const fixture = "testdata/seedmutation/decode.go"
+
+	if diags := analyze(t, fixture, nil); len(diags) != 0 {
+		t.Fatalf("guarded decoder should be clean, got %d findings: %v", len(diags), messages(diags))
+	}
+
+	var deleted int
+	diags := analyze(t, fixture, func(f *ast.File) {
+		deleted = deleteLimitChecks(f)
+	})
+	if deleted < 2 {
+		t.Fatalf("expected to delete >= 2 limit checks, deleted %d", deleted)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("deleting the limit checks should reproduce >= 2 taintalloc findings, got %d: %v",
+			len(diags), messages(diags))
+	}
+	for _, d := range diags {
+		if len(d.Related) < 2 {
+			t.Errorf("finding %q should carry a source→sink path, got %d related locations",
+				d.Message, len(d.Related))
+			continue
+		}
+		if !strings.Contains(d.Related[0].Message, "untrusted wire read") {
+			t.Errorf("finding %q path should start at the wire read, starts with %q",
+				d.Message, d.Related[0].Message)
+		}
+	}
+	// The interprocedural sink — the loop bound inside readFullGrowing —
+	// must be among the reproduced findings, and its path must end at
+	// the callee's allocation site.
+	var viaHelper *analysis.Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "flows into readFullGrowing") {
+			viaHelper = &diags[i]
+		}
+	}
+	if viaHelper == nil {
+		t.Fatalf("expected a finding through readFullGrowing, got: %v", messages(diags))
+	}
+	last := viaHelper.Related[len(viaHelper.Related)-1]
+	if !strings.Contains(last.Message, "allocation site") {
+		t.Errorf("helper finding should end at the callee allocation site, ends with %q", last.Message)
+	}
+}
+
+// analyze parses and type-checks the fixture, applies mutate (if any),
+// and returns taintalloc's diagnostics.
+func analyze(t *testing.T, path string, mutate func(*ast.File)) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	files := []*ast.File{f}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("codec", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(taintalloc.Analyzer, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := taintalloc.Analyzer.Run(pass); err != nil {
+		t.Fatalf("running taintalloc: %v", err)
+	}
+	return diags
+}
+
+// deleteLimitChecks removes every if-statement whose condition mentions
+// the identifier lim — exactly the statements the DecodeLimits
+// discipline adds — and reports how many it removed.
+func deleteLimitChecks(f *ast.File) int {
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		blk, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		kept := blk.List[:0]
+		for _, st := range blk.List {
+			if ifs, ok := st.(*ast.IfStmt); ok && mentionsLim(ifs.Cond) {
+				n++
+				continue
+			}
+			kept = append(kept, st)
+		}
+		blk.List = kept
+		return true
+	})
+	return n
+}
+
+func mentionsLim(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && id.Name == "lim" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package taintalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/taintalloc"
+)
+
+func TestTaintalloc(t *testing.T) {
+	analyzertest.Run(t, "../testdata", taintalloc.Analyzer, "taintalloc")
+}

@@ -1,0 +1,67 @@
+// Fixture for the metricname analyzer's use-site arity check: every
+// Inc/Add/Set/Observe traceable to a registration must pass exactly the
+// declared number of label values. The method shapes mirror
+// repro/internal/obs (Inc takes labels only; Add/Set/Observe take a
+// value first).
+package metrics
+
+func (Counter) Inc(labelValues ...string)                  {}
+func (Counter) Add(v float64, labelValues ...string)       {}
+func (Gauge) Set(v float64, labelValues ...string)         {}
+func (Gauge) Add(v float64, labelValues ...string)         {}
+func (Histogram) Observe(v float64, labelValues ...string) {}
+
+func directChain(r *Registry) {
+	r.Counter("spartan_http_rejected_total", "rejections", "reason").Inc("overload")
+	r.Counter("spartan_http_rejected_total", "rejections", "reason").Inc() // want `declares 1 label\(s\) \[reason\] but Inc passes 0 label value\(s\)`
+}
+
+func boundVariable(r *Registry) {
+	c := r.Counter("spartan_usesite_bound_total", "bound", "reason")
+	c.Inc("limits")
+	c.Add(2, "limits")
+	c.Inc()                     // want `declares 1 label\(s\) \[reason\] but Inc passes 0 label value\(s\)`
+	c.Add(2)                    // want `declares 1 label\(s\) \[reason\] but Add passes 0 label value\(s\)`
+	c.Inc("limits", "overload") // want `declares 1 label\(s\) \[reason\] but Inc passes 2 label value\(s\)`
+}
+
+func gaugeAndHistogram(r *Registry) {
+	g := r.Gauge("spartan_usesite_in_flight", "no labels")
+	g.Set(1)
+	g.Set(1, "extra") // want `declares 0 label\(s\) \[\] but Set passes 1 label value\(s\)`
+	h := r.Histogram("spartan_usesite_seconds", "latency", nil, "route")
+	h.Observe(0.5, "/archive")
+	h.Observe(0.5) // want `declares 1 label\(s\) \[route\] but Observe passes 0 label value\(s\)`
+}
+
+type daemonMetrics struct {
+	rejected Counter
+	inFlight Gauge
+}
+
+func structFields(r *Registry) {
+	m := &daemonMetrics{
+		rejected: r.Counter("spartan_usesite_struct_total", "rejections", "reason"),
+	}
+	m.inFlight = r.Gauge("spartan_usesite_struct_gauge", "in flight")
+	m.rejected.Inc("overload")
+	m.rejected.Inc() // want `declares 1 label\(s\) \[reason\] but Inc passes 0 label value\(s\)`
+	m.inFlight.Set(3)
+}
+
+func ambiguousRebind(r *Registry, which bool) {
+	// Two registrations with different schemas feed one variable; the
+	// analyzer cannot know which is live, so use sites are exempt.
+	c := r.Counter("spartan_usesite_rebind_a_total", "first", "reason")
+	if which {
+		c = r.Counter("spartan_usesite_rebind_b_total", "second")
+	}
+	c.Inc()
+}
+
+func untraceable(c Counter, vals []string) {
+	// A parameter has no visible registration; slice expansion hides the
+	// arity. Neither is checked.
+	c.Inc()
+	c.Inc(vals...)
+}

@@ -1,0 +1,35 @@
+// Fixture for the errcheckio analyzer's spartand scope: the daemon
+// shares server's narrow rules — buffered Flush/Close and io-package
+// functions only. (Package clause names the scope; the real daemon is
+// package main under cmd/spartand.)
+package spartand
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+)
+
+// shutdownFlush loses the buffered tail of the access log.
+func shutdownFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("bye") // best-effort write: not flagged in the daemon
+	bw.Flush()            // want `error from bufio.Writer.Flush is discarded`
+}
+
+// streamBody truncates a proxied archive body silently.
+func streamBody(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `error from io.Copy is discarded`
+}
+
+// bestEffortClose on an interface receiver (resp.Body) is routine
+// daemon hygiene, not a flush point: clean.
+func bestEffortClose(resp *http.Response) {
+	resp.Body.Close()
+}
+
+// explicitDiscard is a reviewed decision, not an oversight.
+func explicitDiscard(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	_ = bw.Flush()
+}

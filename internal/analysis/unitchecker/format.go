@@ -16,13 +16,22 @@ import (
 
 // jsonDiag is the -json output element.
 type jsonDiag struct {
-	File          string `json:"file"`
-	Line          int    `json:"line"`
-	Column        int    `json:"column"`
-	Analyzer      string `json:"analyzer"`
-	Message       string `json:"message"`
-	Suppressed    bool   `json:"suppressed,omitempty"`
-	Justification string `json:"justification,omitempty"`
+	File          string    `json:"file"`
+	Line          int       `json:"line"`
+	Column        int       `json:"column"`
+	Analyzer      string    `json:"analyzer"`
+	Message       string    `json:"message"`
+	Suppressed    bool      `json:"suppressed,omitempty"`
+	Justification string    `json:"justification,omitempty"`
+	Related       []jsonRel `json:"related,omitempty"`
+}
+
+// jsonRel is one step of a finding's source→sink path.
+type jsonRel struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
 }
 
 // marshalJSON renders the diagnostics as an indented JSON array with a
@@ -30,7 +39,7 @@ type jsonDiag struct {
 func marshalJSON(diags []Diag) ([]byte, error) {
 	out := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
-		out = append(out, jsonDiag{
+		jd := jsonDiag{
 			File:          filepath.ToSlash(d.Position.Filename),
 			Line:          d.Position.Line,
 			Column:        d.Position.Column,
@@ -38,7 +47,16 @@ func marshalJSON(diags []Diag) ([]byte, error) {
 			Message:       d.Message,
 			Suppressed:    d.Suppressed,
 			Justification: d.Justification,
-		})
+		}
+		for _, rel := range d.Related {
+			jd.Related = append(jd.Related, jsonRel{
+				File:    filepath.ToSlash(rel.Position.Filename),
+				Line:    rel.Position.Line,
+				Column:  rel.Position.Column,
+				Message: rel.Message,
+			})
+		}
+		out = append(out, jd)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -96,6 +114,21 @@ func buildSARIF(progname string, analyzers []*analysis.Analyzer, diags []Diag) *
 				ArtifactLocation: sarif.ArtifactLocation{URI: filepath.ToSlash(d.Position.Filename)},
 				Region:           &sarif.Region{StartLine: d.Position.Line, StartColumn: d.Position.Column},
 			}}}
+		}
+		// The taint analyzers attach the source→sink path; each step
+		// becomes a labelled related location so code-scanning UIs can
+		// render the flow.
+		for _, rel := range d.Related {
+			if rel.Position.Filename == "" || rel.Position.Line < 1 {
+				continue
+			}
+			res.RelatedLocations = append(res.RelatedLocations, sarif.Location{
+				PhysicalLocation: sarif.PhysicalLocation{
+					ArtifactLocation: sarif.ArtifactLocation{URI: filepath.ToSlash(rel.Position.Filename)},
+					Region:           &sarif.Region{StartLine: rel.Position.Line, StartColumn: rel.Position.Column},
+				},
+				Message: &sarif.Message{Text: rel.Message},
+			})
 		}
 		if d.Suppressed {
 			res.Suppressions = []sarif.Suppression{{Kind: "inSource", Justification: d.Justification}}

@@ -1,0 +1,123 @@
+// SARIF diff mode: `spartanvet -sarifdiff base.sarif head.sarif`
+// compares two aggregated reports and fails (exit 2) when head contains
+// findings absent from base. CI builds base.sarif from the PR's merge
+// base in a worktree and head.sarif from the checkout, so a PR can only
+// land findings it also fixes — pre-existing ones don't block, new ones
+// do.
+//
+// Results are keyed by (ruleId, artifact URI, message text), not line
+// numbers: unrelated edits above a pre-existing finding move its line
+// but must not make it "new". Suppressed results (//spartanvet:ignore)
+// are ignored on both sides — a justified suppression is not a finding.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/analysis/sarif"
+)
+
+// diffKey identifies a finding across runs of the tool.
+type diffKey struct {
+	rule    string
+	uri     string
+	message string
+}
+
+// runSarifDiff implements the -sarifdiff mode. Exit codes: 0 when head
+// introduces nothing, 2 when it does, 1 on malformed input.
+func runSarifDiff(progname string, paths []string, stdout, stderr io.Writer) int {
+	if len(paths) != 2 {
+		fmt.Fprintf(stderr, "%s: -sarifdiff wants exactly two arguments: base.sarif head.sarif\n", progname)
+		return 1
+	}
+	base, err := loadSarifResults(paths[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	head, err := loadSarifResults(paths[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	baseline := map[diffKey]bool{}
+	for _, r := range base {
+		baseline[keyOf(r)] = true
+	}
+	var fresh []sarif.Result
+	for _, r := range head {
+		if !baseline[keyOf(r)] {
+			fresh = append(fresh, r)
+		}
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintf(stdout, "%s: no new findings (%d in head, all present in base)\n", progname, len(head))
+		return 0
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		ki, kj := keyOf(fresh[i]), keyOf(fresh[j])
+		if ki.uri != kj.uri {
+			return ki.uri < kj.uri
+		}
+		if ki.rule != kj.rule {
+			return ki.rule < kj.rule
+		}
+		return ki.message < kj.message
+	})
+	fmt.Fprintf(stdout, "%s: %d new finding(s) not present in base:\n", progname, len(fresh))
+	for _, r := range fresh {
+		fmt.Fprintf(stdout, "  %s: [%s] %s\n", position(r), r.RuleID, r.Message.Text)
+	}
+	return 2
+}
+
+// loadSarifResults reads one SARIF log and returns its unsuppressed
+// results. Decoding is lenient (no DisallowUnknownFields): the base log
+// may come from a different revision of the tool with a richer or
+// poorer model, and the diff only needs the keying fields.
+func loadSarifResults(path string) ([]sarif.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var log sarif.Log
+	if err := json.Unmarshal(data, &log); err != nil {
+		return nil, fmt.Errorf("%s: not a SARIF log: %v", path, err)
+	}
+	var out []sarif.Result
+	for _, run := range log.Runs {
+		for _, r := range run.Results {
+			if len(r.Suppressions) > 0 {
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func keyOf(r sarif.Result) diffKey {
+	k := diffKey{rule: r.RuleID, message: r.Message.Text}
+	if len(r.Locations) > 0 {
+		k.uri = r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+	}
+	return k
+}
+
+// position renders a human-readable file:line for a result, best effort.
+func position(r sarif.Result) string {
+	if len(r.Locations) == 0 {
+		return "<no location>"
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.Region != nil && loc.Region.StartLine > 0 {
+		return fmt.Sprintf("%s:%d", loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+	return loc.ArtifactLocation.URI
+}

@@ -1,0 +1,106 @@
+package unitchecker
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/sarif"
+)
+
+// writeSarifLog marshals a minimal log holding the given results.
+func writeSarifLog(t *testing.T, path string, results []sarif.Result) {
+	t.Helper()
+	log := sarif.Log{
+		Schema:  sarif.SchemaURI,
+		Version: sarif.Version,
+		Runs: []sarif.Run{{
+			Tool:    sarif.Tool{Driver: sarif.Driver{Name: "spartanvet"}},
+			Results: results,
+		}},
+	}
+	data, err := log.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func result(rule, uri, msg string, line int) sarif.Result {
+	return sarif.Result{
+		RuleID:  rule,
+		Message: sarif.Message{Text: msg},
+		Locations: []sarif.Location{{PhysicalLocation: sarif.PhysicalLocation{
+			ArtifactLocation: sarif.ArtifactLocation{URI: uri},
+			Region:           &sarif.Region{StartLine: line, StartColumn: 1},
+		}}},
+	}
+}
+
+// TestSarifDiff drives the -sarifdiff mode through the same entry point
+// the CLI uses: unchanged findings pass even when their line moved,
+// new findings fail with exit 2, and suppressed results never count.
+func TestSarifDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.sarif")
+	head := filepath.Join(dir, "head.sarif")
+
+	preexisting := result("floatcmp", "cart/split.go", "raw float equality on a tolerance", 10)
+	writeSarifLog(t, base, []sarif.Result{preexisting})
+
+	t.Run("no new findings", func(t *testing.T) {
+		moved := preexisting
+		moved.Locations[0].PhysicalLocation.Region = &sarif.Region{StartLine: 99, StartColumn: 1}
+		writeSarifLog(t, head, []sarif.Result{moved})
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifdiff", base, head}, nil, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "no new findings") {
+			t.Errorf("stdout missing summary: %s", stdout.String())
+		}
+	})
+
+	t.Run("new finding fails", func(t *testing.T) {
+		fresh := result("taintalloc", "codec/decode.go", "wire-read value flows into make", 42)
+		writeSarifLog(t, head, []sarif.Result{preexisting, fresh})
+		var stdout, stderr bytes.Buffer
+		code := run("spartanvet", []string{"-sarifdiff", base, head}, nil, &stdout, &stderr)
+		if code != 2 {
+			t.Fatalf("exit %d, want 2\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "1 new finding(s)") ||
+			!strings.Contains(out, "codec/decode.go:42") ||
+			!strings.Contains(out, "[taintalloc]") {
+			t.Errorf("diff output missing the new finding: %s", out)
+		}
+		if strings.Contains(out, "cart/split.go") {
+			t.Errorf("pre-existing finding listed as new: %s", out)
+		}
+	})
+
+	t.Run("suppressed results do not count", func(t *testing.T) {
+		suppressed := result("errcheckio", "archive/write.go", "error from Flush is discarded", 7)
+		suppressed.Suppressions = []sarif.Suppression{{Kind: "inSource", Justification: "best effort"}}
+		writeSarifLog(t, head, []sarif.Result{preexisting, suppressed})
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifdiff", base, head}, nil, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, want 0 (suppressed finding must not gate)\nstdout: %s", code, stdout.String())
+		}
+	})
+
+	t.Run("usage and IO errors", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifdiff", base}, nil, &stdout, &stderr); code != 1 {
+			t.Errorf("one argument: exit %d, want 1", code)
+		}
+		if code := run("spartanvet", []string{"-sarifdiff", base, filepath.Join(dir, "missing.sarif")}, nil, &stdout, &stderr); code != 1 {
+			t.Errorf("missing head file: exit %d, want 1", code)
+		}
+	})
+}

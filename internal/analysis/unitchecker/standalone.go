@@ -35,17 +35,25 @@ type listPackage struct {
 // runStandalone analyzes every package matched by patterns and reports
 // in the selected format. Test files are not loaded (they belong to the
 // vet protocol's test variants); the mode covers the shipped sources.
+//
+// All packages share one in-memory fact store. `go list -deps` streams
+// dependencies before their importers, so by the time a package is
+// analyzed every module dependency's facts are already present:
+// matched packages export facts as part of their full run, and
+// dependency-only module packages get a facts-only pass first.
 func runStandalone(progname string, patterns []string, analyzers []*analysis.Analyzer, opts *options, stdout, stderr io.Writer) int {
-	targets, exports, err := loadPackages(patterns)
+	pkgs, exports, err := loadPackages(patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
 		return 1
 	}
 
 	cwd, _ := os.Getwd()
+	facts := analysis.NewFactStore()
+	producers := factProducers(analyzers)
 	var all []Diag
 	broken := 0
-	for _, p := range targets {
+	for _, p := range pkgs {
 		files := make([]string, 0, len(p.GoFiles))
 		for _, name := range p.GoFiles {
 			files = append(files, filepath.Join(p.Dir, name))
@@ -56,7 +64,17 @@ func runStandalone(progname string, patterns []string, analyzers []*analysis.Ana
 			GoFiles:     files,
 			PackageFile: exports,
 		}
-		diags, err := checkPackage(cfg, analyzers, opts)
+		if p.DepOnly {
+			// Not matched by the patterns: only its facts matter. A broken
+			// dependency costs downstream precision, not the run.
+			if len(producers) > 0 {
+				if err := checkFactsOnly(cfg, producers, opts, facts); err != nil {
+					fmt.Fprintf(stderr, "%s: %s (facts skipped): %v\n", progname, p.ImportPath, err)
+				}
+			}
+			continue
+		}
+		diags, err := checkPackage(cfg, analyzers, opts, facts)
 		if err != nil {
 			fmt.Fprintf(stderr, "%s: %s: %v\n", progname, p.ImportPath, err)
 			broken++
@@ -71,9 +89,11 @@ func runStandalone(progname string, patterns []string, analyzers []*analysis.Ana
 }
 
 // loadPackages shells out to the go command for pattern expansion and
-// export data, returning the matched packages plus an import-path →
-// export-file map covering their whole dependency closure.
-func loadPackages(patterns []string) (targets []*listPackage, exports map[string]string, err error) {
+// export data, returning every non-standard package in the dependency
+// closure — dependencies before importers, matched packages flagged by
+// DepOnly=false — plus an import-path → export-file map covering the
+// whole closure.
+func loadPackages(patterns []string) (pkgs []*listPackage, exports map[string]string, err error) {
 	args := append([]string{"list", "-json", "-deps", "-export"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stdout, stderr bytes.Buffer
@@ -100,9 +120,9 @@ func loadPackages(patterns []string) (targets []*listPackage, exports map[string
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
-			targets = append(targets, p)
+		if !p.Standard && len(p.GoFiles) > 0 {
+			pkgs = append(pkgs, p)
 		}
 	}
-	return targets, exports, nil
+	return pkgs, exports, nil
 }

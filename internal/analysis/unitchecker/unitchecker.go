@@ -24,7 +24,10 @@
 //   - -sarif: a SARIF 2.1.0 log on stdout (GitHub code scanning), exit 0.
 //
 // The data formats exit zero on findings because they exist to report,
-// not to gate; the text mode remains the CI tripwire. In all modes a
+// not to gate; the text mode remains the CI tripwire. A third mode,
+// `tool -sarifdiff base.sarif head.sarif`, compares two such logs and
+// exits 2 when head has findings absent from base — the PR gate that
+// blocks new findings without penalizing pre-existing ones. In all modes a
 // //spartanvet:ignore directive that no longer suppresses anything is
 // itself reported as a finding under the name "staleignore" (the
 // "ignore all" form is only judged when the full suite runs, since a
@@ -67,6 +70,11 @@ type Config struct {
 	ImportMap   map[string]string
 	PackageFile map[string]string
 
+	// PackageVetx maps each dependency's import path to the .vetx file a
+	// previous VetxOnly run of this tool produced for it — the facts the
+	// interprocedural analyzers consume for cross-package calls.
+	PackageVetx map[string]string
+
 	VetxOnly   bool
 	VetxOutput string
 
@@ -94,8 +102,11 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 	enabled := map[string]*bool{}
 	opts := &options{stderr: stderr}
 	var positional []string
+	sarifDiff := false
 	for _, arg := range args {
 		switch {
+		case arg == "-sarifdiff" || arg == "--sarifdiff":
+			sarifDiff = true
 		case arg == "-V=full" || arg == "--V=full":
 			fmt.Fprintln(stdout, versionLine(progname))
 			return 0
@@ -148,14 +159,19 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 	// deselected: a partial run cannot prove a directive useless.
 	opts.judgeAll = len(enabled) == 0
 
+	if sarifDiff {
+		return runSarifDiff(progname, positional, stdout, stderr)
+	}
+
 	if len(positional) != 1 || !strings.HasSuffix(positional[0], ".cfg") {
 		if len(positional) > 0 {
 			return runStandalone(progname, positional, selected, opts, stdout, stderr)
 		}
 		fmt.Fprintf(stderr, "%s: this tool speaks the `go vet` protocol; invoke it as:\n"+
 			"  go vet -vettool=%s ./...       (per-unit, build-cached)\n"+
-			"  %s [-json|-sarif] ./...        (standalone, aggregated report)\n",
-			progname, progname, progname)
+			"  %s [-json|-sarif] ./...        (standalone, aggregated report)\n"+
+			"  %s -sarifdiff base.sarif head.sarif  (fail on findings new in head)\n",
+			progname, progname, progname, progname)
 		return 1
 	}
 	cfgFile := positional[0]
@@ -166,19 +182,29 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		return 1
 	}
 
+	facts := loadFacts(cfg)
+
 	// The go command runs the tool over every dependency with
-	// VetxOnly=true so that fact-producing analyzers can see upstream
-	// packages. These analyzers produce no facts, so dependencies only
-	// need the (empty) vetx file.
-	if err := writeVetx(cfg); err != nil {
-		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
-		return 1
-	}
+	// VetxOnly=true so that fact-producing analyzers (funcsummary) can
+	// hand their results downstream. Only the producers run on such
+	// units; their exports become the body of the unit's .vetx file. A
+	// dependency that fails to analyze writes an empty vetx instead of
+	// failing the whole vet run — missing facts only cost downstream
+	// precision, never correctness.
 	if cfg.VetxOnly {
+		if producers := factProducers(selected); len(producers) > 0 {
+			if err := checkFactsOnly(cfg, producers, opts, facts); err != nil {
+				fmt.Fprintf(stderr, "%s: %s (facts skipped): %v\n", progname, cfg.ImportPath, err)
+			}
+		}
+		if err := writeVetx(cfg, facts); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+			return 1
+		}
 		return 0
 	}
 
-	diags, err := checkPackage(cfg, selected, opts)
+	diags, err := checkPackage(cfg, selected, opts, facts)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -186,7 +212,36 @@ func run(progname string, args []string, analyzers []*analysis.Analyzer, stdout,
 		fmt.Fprintf(stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
 		return 1
 	}
+	if err := writeVetx(cfg, facts); err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+		return 1
+	}
 	return report(progname, selected, diags, opts, stdout, stderr)
+}
+
+// factProducers filters the analyzers that export package facts.
+func factProducers(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.Facts {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// checkFactsOnly runs the fact producers over a dependency unit. Fact
+// runs cover every dependency — the standard library included — so a
+// producer tripping over code the module never shaped is contained
+// here: the panic becomes an error, the unit just exports no facts.
+func checkFactsOnly(cfg *Config, producers []*analysis.Analyzer, opts *options, facts *analysis.FactStore) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fact producer panicked: %v", r)
+		}
+	}()
+	_, err = checkPackage(cfg, producers, opts, facts)
+	return err
 }
 
 // report renders diagnostics in the selected format and returns the
@@ -219,6 +274,9 @@ func report(progname string, analyzers []*analysis.Analyzer, diags []Diag, opts 
 				continue
 			}
 			fmt.Fprintln(stderr, d)
+			for _, rel := range d.Related {
+				fmt.Fprintf(stderr, "\t%s: %s\n", rel.Position, rel.Message)
+			}
 			failed = true
 		}
 		if failed {
@@ -303,12 +361,33 @@ func readConfig(path string) (*Config, error) {
 	return cfg, nil
 }
 
-func writeVetx(cfg *Config) error {
+// loadFacts reads the .vetx file of every dependency named in
+// cfg.PackageVetx into a fresh store. Unreadable or malformed files are
+// skipped — the downstream analyzers just see fewer facts.
+func loadFacts(cfg *Config) *analysis.FactStore {
+	store := analysis.NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		if err := store.DecodePackage(path, data); err != nil {
+			continue
+		}
+	}
+	return store
+}
+
+// writeVetx persists this unit's exported facts as its .vetx body.
+func writeVetx(cfg *Config, facts *analysis.FactStore) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	// No facts: an empty file is a complete serialization.
-	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	body, err := facts.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, body, 0o666)
 }
 
 // Diag is one rendered diagnostic. Suppressed diagnostics (silenced by
@@ -323,6 +402,16 @@ type Diag struct {
 	// Justification is the directive's free-text reason, set only when
 	// Suppressed.
 	Justification string
+	// Related carries auxiliary positions — for the taint analyzers, the
+	// source→sink path: where the wire value entered and every step it
+	// travelled before reaching the sink.
+	Related []RelDiag
+}
+
+// RelDiag is one related location of a diagnostic.
+type RelDiag struct {
+	Position token.Position
+	Message  string
 }
 
 func (d Diag) String() string {
@@ -330,7 +419,9 @@ func (d Diag) String() string {
 }
 
 // checkPackage parses and type-checks the unit and runs the analyzers.
-func checkPackage(cfg *Config, analyzers []*analysis.Analyzer, opts *options) ([]Diag, error) {
+// Dependency facts arrive through facts; fact-producing analyzers
+// export this package's facts into the same store.
+func checkPackage(cfg *Config, analyzers []*analysis.Analyzer, opts *options, facts *analysis.FactStore) ([]Diag, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
@@ -380,7 +471,18 @@ func checkPackage(cfg *Config, analyzers []*analysis.Analyzer, opts *options) ([
 	toDiag := func(d analysis.Diagnostic) Diag {
 		pos := fset.Position(d.Pos)
 		pos.Filename = relativeTo(pos.Filename, cfg.Dir)
-		return Diag{Position: pos, Message: d.Message, Analyzer: d.Analyzer}
+		out := Diag{Position: pos, Message: d.Message, Analyzer: d.Analyzer}
+		for _, rel := range d.Related {
+			// In-package steps carry a token.Pos; cross-package sites (a
+			// summarized callee's allocation) arrive pre-resolved.
+			rp := rel.Position
+			if rel.Pos.IsValid() {
+				rp = fset.Position(rel.Pos)
+			}
+			rp.Filename = relativeTo(rp.Filename, cfg.Dir)
+			out.Related = append(out.Related, RelDiag{Position: rp, Message: rel.Message})
+		}
+		return out
 	}
 	var diags []Diag
 	known := map[string]bool{}
@@ -389,6 +491,7 @@ func checkPackage(cfg *Config, analyzers []*analysis.Analyzer, opts *options) ([
 		pass := analysis.NewPassShared(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
 			diags = append(diags, toDiag(d))
 		}, sup)
+		pass.Facts = facts
 		pass.SuppressedSink = func(d analysis.Diagnostic, dir *analysis.Directive) {
 			sd := toDiag(d)
 			sd.Suppressed = true

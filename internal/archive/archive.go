@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -145,6 +146,9 @@ func (ar *Reader) Next() (*table.Table, error) {
 	if blockLen == 0 {
 		ar.done = true
 		return nil, io.EOF
+	}
+	if blockLen > math.MaxInt64 {
+		return nil, fmt.Errorf("archive: implausible block length %d", blockLen)
 	}
 	t, err := codec.Decode(io.LimitReader(ar.r, int64(blockLen)))
 	if err != nil {

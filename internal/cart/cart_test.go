@@ -2,6 +2,7 @@ package cart
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -425,6 +426,64 @@ func TestDecodeModelRejectsCorruption(t *testing.T) {
 		}()
 		_, _ = DecodeModel(bytes.NewReader(bad))
 	}()
+}
+
+// TestDecodeModelRejectsHostileWireValues hand-crafts model streams
+// whose varints are structurally valid but semantically hostile: a row
+// delta that would wrap negative when narrowed to int (sailing under
+// the codec's `Row >= nrows` check into a negative slice index), and
+// codes/attributes beyond any plausible range. Each must fail with an
+// error, not wrap. These are the streams the taintalloc/sizeoverflow
+// analyzers guard against regressing.
+func TestDecodeModelRejectsHostileWireValues(t *testing.T) {
+	// Prefix: target=0, kind=Numeric, root = numeric leaf 0.
+	prefix := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		buf.Write(binary.AppendUvarint(nil, 0)) // target attr
+		buf.WriteByte(byte(table.Numeric))
+		buf.WriteByte(0)           // tagLeafNum
+		buf.Write(make([]byte, 4)) // leaf value 0.0
+		return &buf
+	}
+
+	t.Run("huge row delta", func(t *testing.T) {
+		buf := prefix()
+		buf.Write(binary.AppendUvarint(nil, 1))     // one outlier
+		buf.Write(binary.AppendUvarint(nil, 1<<62)) // delta wraps int
+		buf.Write(make([]byte, 4))                  // outlier value
+		m, err := DecodeModel(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			t.Fatalf("DecodeModel accepted a 2^62 row delta: %+v", m.Outliers)
+		}
+	})
+	t.Run("huge target attribute", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.Write(binary.AppendUvarint(nil, 1<<40))
+		buf.WriteByte(byte(table.Numeric))
+		if _, err := DecodeModel(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("DecodeModel accepted a 2^40 target attribute")
+		}
+	})
+	t.Run("huge split attribute", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.Write(binary.AppendUvarint(nil, 0))
+		buf.WriteByte(byte(table.Numeric))
+		buf.WriteByte(2)                            // tagInternalNum
+		buf.Write(binary.AppendUvarint(nil, 1<<40)) // split attr
+		if _, err := DecodeModel(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("DecodeModel accepted a 2^40 split attribute")
+		}
+	})
+	t.Run("leaf code overflows int32", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.Write(binary.AppendUvarint(nil, 0))
+		buf.WriteByte(byte(table.Categorical))
+		buf.WriteByte(1)                            // tagLeafCat
+		buf.Write(binary.AppendUvarint(nil, 1<<33)) // code > MaxInt32
+		if _, err := DecodeModel(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("DecodeModel accepted a leaf code beyond int32")
+		}
+	})
 }
 
 func TestEncodeRejectsUnorderedOutliers(t *testing.T) {

@@ -74,6 +74,9 @@ func DecodeModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cart: reading model target: %w", err)
 	}
+	if target > 1<<30 {
+		return nil, fmt.Errorf("cart: implausible target attribute %d", target)
+	}
 	kindByte, err := br.ReadByte()
 	if err != nil {
 		return nil, fmt.Errorf("cart: reading model kind: %w", err)
@@ -100,6 +103,12 @@ func DecodeModel(r io.Reader) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cart: reading outlier row: %w", err)
 		}
+		// A huge delta narrowed to int would wrap negative, and a
+		// negative Row sails under downstream `Row >= nrows` checks
+		// straight into a slice-index panic. Bound it first.
+		if delta > 1<<30 {
+			return nil, fmt.Errorf("cart: implausible outlier row delta %d", delta)
+		}
 		row += int(delta)
 		o := Outlier{Row: row}
 		if kind == table.Numeric {
@@ -107,7 +116,12 @@ func DecodeModel(r io.Reader) (*Model, error) {
 		} else {
 			var code uint64
 			code, err = binary.ReadUvarint(br)
-			o.Code = int32(code)
+			if err == nil {
+				if code > math.MaxInt32 {
+					return nil, fmt.Errorf("cart: outlier code %d overflows int32", code)
+				}
+				o.Code = int32(code)
+			}
 		}
 		if err != nil {
 			return nil, fmt.Errorf("cart: reading outlier value: %w", err)
@@ -193,11 +207,17 @@ func decodeNode(br *bufio.Reader, kind table.Kind, depth int) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("cart: leaf code %d overflows int32", c)
+		}
 		return &Node{Leaf: true, CatValue: int32(c)}, nil
 	case tagInternalNum, tagInternalCat:
 		attr, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
+		}
+		if attr > 1<<30 {
+			return nil, fmt.Errorf("cart: implausible split attribute %d", attr)
 		}
 		n := &Node{SplitAttr: int(attr)}
 		if tag == tagInternalCat {
@@ -214,6 +234,9 @@ func decodeNode(br *bufio.Reader, kind table.Kind, depth int) (*Node, error) {
 				c, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, err
+				}
+				if c > math.MaxInt32 {
+					return nil, fmt.Errorf("cart: split code %d overflows int32", c)
 				}
 				n.SplitLeft = append(n.SplitLeft, int32(c))
 			}

@@ -321,7 +321,10 @@ func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
 			return nil, fmt.Errorf("codec: model %d: %w", i, err)
 		}
 		for _, o := range m.Outliers {
-			if o.Row >= nrows {
+			// The lower bound matters as much as the upper one: a wrapped
+			// delta in the model stream would yield a negative row, which
+			// indexes the column slice from the wrong end in Reconstruct.
+			if o.Row < 0 || o.Row >= nrows {
 				return nil, fmt.Errorf("codec: outlier row %d beyond %d rows", o.Row, nrows)
 			}
 		}
