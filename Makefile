@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bin sarif sarifdiff
+.PHONY: check vet lint build test race bench bench-json benchdiff bin sarif sarifdiff
 
 check: vet build race lint
 
@@ -53,6 +53,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-json records one BENCH_<n>.json trajectory snapshot (auto-numbered
+# under BENCH_DIR); benchdiff gates NEW against OLD the way CI does.
+# See docs/OBSERVABILITY.md for the schema and the before/after workflow.
+BENCH_ROWS ?= 4000
+BENCH_REPS ?= 3
+BENCH_DIR ?= .
+bench-json:
+	$(GO) run ./cmd/spartanbench perf -rows $(BENCH_ROWS) -reps $(BENCH_REPS) -dir $(BENCH_DIR)
+
+benchdiff:
+	$(GO) run ./cmd/spartanbench diff $(OLD) $(NEW)
 
 bin:
 	$(GO) build -o bin/ ./cmd/...

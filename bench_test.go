@@ -30,6 +30,7 @@ func benchmarkFig5(b *testing.B, d experiments.Dataset, frac float64) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Measurement
 	for i := 0; i < b.N; i++ {
@@ -63,6 +64,7 @@ func benchmarkFig6aSample(b *testing.B, sampleBytes int) {
 		SampleBytes: sampleBytes,
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -89,6 +91,7 @@ func benchmarkFig6bTolerance(b *testing.B, frac float64) {
 	}
 	opts := core.Options{Tolerances: table.UniformTolerances(t, frac, 0)}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.RunSpartan(t, opts); err != nil {
@@ -117,6 +120,7 @@ func benchmarkTable1(b *testing.B, strat core.SelectionStrategy) {
 		Selection:  strat,
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ratio float64
 	var carts int
@@ -141,6 +145,7 @@ func BenchmarkCompressCDR(b *testing.B) {
 	t := datagen.CDR(benchRows, 1)
 	opts := Options{Tolerances: UniformTolerances(t, 0.01, 0)}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := CompressBytes(t, opts); err != nil {
@@ -156,6 +161,7 @@ func BenchmarkDecompressCDR(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecompressBytes(data); err != nil {
@@ -176,6 +182,7 @@ func benchmarkPruneMode(b *testing.B, mode cart.PruneMode) {
 		Prune:      mode,
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -199,6 +206,7 @@ func benchmarkRowAgg(b *testing.B, disable bool) {
 		DisableRowAggregation: disable,
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ratio float64
 	for i := 0; i < b.N; i++ {

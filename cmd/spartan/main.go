@@ -129,6 +129,7 @@ func cmdCompress(args []string) error {
 	var tr *spartan.Trace
 	if *trace {
 		tr = spartan.NewTrace("compress " + *in)
+		tr.CaptureResources()
 		opts.Trace = tr
 	}
 	f, err := os.Create(*out)

@@ -12,6 +12,13 @@
 //	spartanbench ablate  [-rows N] [-seed S]   design-choice ablations
 //	spartanbench summary [-rows N] [-seed S]   everything above
 //
+// Performance trajectory (docs/OBSERVABILITY.md):
+//
+//	spartanbench perf [-rows N] [-reps R] [-warmup W] [-scenarios LIST] [-out F|-dir D] [-profile D]
+//	    record a BENCH_<n>.json snapshot (rows/sec, allocs/op, per-phase spans)
+//	spartanbench diff [-threshold F] OLD.json NEW.json
+//	    compare two snapshots; exit 2 on regressions past the threshold
+//
 // -rows 0 (the default) selects per-dataset scaled-down versions of the
 // paper's table sizes; see EXPERIMENTS.md for the mapping.
 package main
@@ -31,10 +38,27 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// The trajectory subcommands own their flag sets (different knobs,
+	// positional snapshot arguments, regression exit code).
+	switch cmd {
+	case "perf":
+		if _, err := perfMain(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spartanbench:", err)
+			os.Exit(1)
+		}
+		return
+	case "diff":
+		code, err := diffMain(os.Args[2:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spartanbench:", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	rows := fs.Int("rows", 0, "rows per dataset (0 = per-dataset default)")
 	seed := fs.Int64("seed", 1, "generator seed")
-	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of aligned text (fig5, fig6a, table1)")
+	csvOut := fs.Bool("csv", false, "emit machine-readable CSV instead of aligned text (fig5, fig6a, fig6b, fig6c, table1)")
 	trace := fs.Bool("trace", false, "print each SPARTAN run's per-phase span tree (paper §4.2 breakdown)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -57,8 +81,16 @@ func main() {
 		}
 		err = fig6a(*rows, *seed)
 	case "fig6b":
+		if *csvOut {
+			err = fig6bCSV(*rows, *seed)
+			break
+		}
 		err = fig6b(*rows, *seed)
 	case "fig6c":
+		if *csvOut {
+			err = fig6cCSV(*rows, *seed)
+			break
+		}
 		err = fig6c(*rows, *seed)
 	case "table1":
 		if *csvOut {
@@ -86,7 +118,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: spartanbench <fig5|fig6a|fig6b|fig6c|table1|lossless|ablate|summary> [-rows N] [-seed S] [-trace]
+	fmt.Fprint(os.Stderr, `usage: spartanbench <fig5|fig6a|fig6b|fig6c|table1|lossless|ablate|summary> [-rows N] [-seed S] [-csv] [-trace]
+       spartanbench perf [-rows N] [-reps R] [-warmup W] [-scenarios LIST] [-out F|-dir D] [-profile D]
+       spartanbench diff [-threshold F] OLD.json NEW.json
 `)
 }
 
@@ -168,6 +202,43 @@ func fig6aCSV(rows int, seed int64) error {
 		}
 		for _, p := range pts {
 			fmt.Printf("%s,%d,%.4f,%d\n", d, p.SampleBytes, p.Ratio, p.Elapsed.Milliseconds())
+		}
+	}
+	return nil
+}
+
+func fig6bCSV(rows int, seed int64) error {
+	fmt.Println("dataset,tolerance,elapsed_ms,deps_ms,select_ms,rowagg_ms,outliers_ms,encode_ms")
+	for _, d := range experiments.AllDatasets {
+		pts, err := experiments.Fig6b(d, rows, seed, nil)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			t := p.Stats.Timings
+			fmt.Printf("%s,%g,%d,%d,%d,%d,%d,%d\n",
+				d, p.Tolerance, p.Elapsed.Milliseconds(),
+				t.DependencyFinder.Milliseconds(), t.CaRTSelection.Milliseconds(),
+				t.RowAggregation.Milliseconds(), t.OutlierScan.Milliseconds(),
+				t.Encode.Milliseconds())
+		}
+	}
+	return nil
+}
+
+func fig6cCSV(rows int, seed int64) error {
+	fmt.Println("dataset,sample_bytes,elapsed_ms,deps_ms,select_ms,outliers_ms")
+	for _, d := range experiments.AllDatasets {
+		pts, err := experiments.Fig6a(d, rows, 0.01, seed, nil)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			t := p.Stats.Timings
+			fmt.Printf("%s,%d,%d,%d,%d,%d\n",
+				d, p.SampleBytes, p.Elapsed.Milliseconds(),
+				t.DependencyFinder.Milliseconds(), t.CaRTSelection.Milliseconds(),
+				t.OutlierScan.Milliseconds())
 		}
 	}
 	return nil

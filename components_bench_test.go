@@ -23,6 +23,7 @@ func BenchmarkBayesNetBuild(b *testing.B) {
 	t := datagen.Census(25000, 1)
 	rng := rand.New(rand.NewSource(1))
 	sample := t.Sample(1500, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bayesnet.Build(sample, bayesnet.Config{}); err != nil {
@@ -37,6 +38,7 @@ func BenchmarkCartBuildRegression(b *testing.B) {
 	sample := t.Sample(500, rng)
 	cm := cart.NewCostModel(t)
 	tol := 0.01 * t.Col(16).Range()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := cart.Build(sample, 16, []int{14, 15, 17, 18}, tol, cm,
@@ -53,6 +55,7 @@ func BenchmarkCartBuildClassification(b *testing.B) {
 	cm := cart.NewCostModel(t)
 	educIdx := t.Schema().Index("education")
 	yearsIdx := t.Schema().Index("educ_years")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := cart.Build(sample, educIdx, []int{yearsIdx}, 0, cm,
@@ -74,6 +77,7 @@ func BenchmarkOutlierScan(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(t.NumRows() * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.ComputeOutliers(t, tol); err != nil {
@@ -91,6 +95,7 @@ func BenchmarkFascicleCluster(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fascicle.Cluster(t, fascicle.Params{Widths: widths}); err != nil {
@@ -114,6 +119,7 @@ func BenchmarkWMISExact(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wmis.SolveExact(g)
@@ -123,6 +129,7 @@ func BenchmarkWMISExact(b *testing.B) {
 func BenchmarkGzipBaseline(b *testing.B) {
 	t := datagen.Census(20000, 1)
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gzipref.Compress(t); err != nil {
@@ -134,6 +141,7 @@ func BenchmarkGzipBaseline(b *testing.B) {
 func BenchmarkPzipBaseline(b *testing.B) {
 	t := datagen.Census(20000, 1)
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pzipref.Compress(t); err != nil {
@@ -148,6 +156,7 @@ func BenchmarkQueryAggregate(b *testing.B) {
 	q := Query{Agg: Avg, Column: "charge_cents",
 		Where: NumCmp("duration_sec", Gt, 200), GroupBy: "plan"}
 	b.SetBytes(int64(t.RawSizeBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunQuery(t, tol, q); err != nil {

@@ -1,0 +1,320 @@
+// Package bench is SPARTAN's recorded performance trajectory: it runs
+// named scenarios (end-to-end compress/decode/query plus per-component
+// microbenches over the datagen datasets) with warmup and repetitions
+// and emits a versioned BENCH_<n>.json snapshot — rows/sec, bytes/sec,
+// queries/sec, compression ratio, allocs/op, per-phase span durations
+// and allocation attribution, and an environment fingerprint. Snapshots
+// from different commits are compared with Diff, which is how an engine
+// PR proves its before/after claim (ROADMAP item 3); `spartanbench perf`
+// and `spartanbench diff` are the command-line drivers, and CI records a
+// smoke snapshot on every PR.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes a bench run. The zero value selects the standard
+// local configuration (4000 rows, 1 warmup, 3 measured reps, all
+// scenarios); CI's smoke run lowers rows and reps.
+type Config struct {
+	// Rows is the dataset size every scenario generates (default 4000,
+	// matching the in-repo testing.B benchmarks).
+	Rows int
+	// Seed fixes dataset generation (default 1); scenarios are fully
+	// deterministic for a given (Rows, Seed) pair modulo wall-clock.
+	Seed int64
+	// Warmup is the number of untimed iterations before measurement
+	// (default 1; negative means none).
+	Warmup int
+	// Reps is the number of measured iterations per scenario (default 3).
+	Reps int
+	// Scenarios filters by name: a scenario runs when its name equals or
+	// has a "/"-prefix match with any entry ("compress" selects
+	// "compress/cdr"). Nil or empty selects all scenarios.
+	Scenarios []string
+	// Handicap injects an artificial per-iteration sleep into every
+	// measured op. It exists so the regression-diff path can be exercised
+	// end to end (a snapshot recorded with a handicap must make Diff
+	// against an honest one report regressions); never set it when
+	// recording a real trajectory point. spartanbench wires it to the
+	// SPARTAN_BENCH_HANDICAP environment variable for the same reason.
+	Handicap time.Duration
+	// ProfileDir, when non-empty, captures a CPU profile over each
+	// scenario's measured loop and a heap profile after it, as
+	// <dir>/<scenario>_cpu.pprof and <dir>/<scenario>_heap.pprof.
+	ProfileDir string
+	// Progress, when non-nil, receives one line per completed scenario.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// opStats is what one scenario iteration reports back to the harness:
+// the work quantities that become rates, and optionally the run's
+// pipeline trace for per-phase attribution.
+type opStats struct {
+	rows    int     // rows processed this op
+	bytes   int     // raw (uncompressed) bytes processed this op
+	queries int     // queries answered this op
+	ratio   float64 // compression ratio achieved (compress scenarios)
+	trace   *obs.Trace
+}
+
+// scenario is one named benchmark: setup generates inputs (untimed) and
+// returns the op the harness times.
+type scenario struct {
+	name  string
+	setup func(cfg Config) (op func(*opStats) error, err error)
+}
+
+// Run executes every selected scenario and assembles the snapshot.
+func Run(cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Env:           Fingerprint(),
+		Rows:          cfg.Rows,
+		Seed:          cfg.Seed,
+		Warmup:        cfg.Warmup,
+		Reps:          cfg.Reps,
+	}
+	selected := make([]scenario, 0, len(scenarios))
+	for _, sc := range scenarios {
+		if matchScenario(sc.name, cfg.Scenarios) {
+			selected = append(selected, sc)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("bench: no scenarios match %v (have %s)",
+			cfg.Scenarios, strings.Join(ScenarioNames(), ", "))
+	}
+	snap.Scenarios = make([]ScenarioResult, 0, len(selected))
+	for _, sc := range selected {
+		res, err := runScenario(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.name, err)
+		}
+		snap.Scenarios = append(snap.Scenarios, res)
+		if cfg.Progress != nil {
+			fmt.Fprintln(cfg.Progress, res.String())
+		}
+	}
+	return snap, nil
+}
+
+// ScenarioNames lists every registered scenario in run order.
+func ScenarioNames() []string {
+	out := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		out[i] = sc.name
+	}
+	return out
+}
+
+// matchScenario reports whether name is selected by the filter list:
+// exact match or path-prefix match ("compress" matches "compress/cdr").
+func matchScenario(name string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if f == name || strings.HasPrefix(name, f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// runScenario measures one scenario: setup (untimed), warmup, then Reps
+// timed iterations bracketed by exact allocation readings
+// (runtime.ReadMemStats, the same source testing.B uses for
+// -benchmem), with optional CPU/heap profiles over the measured loop.
+func runScenario(sc scenario, cfg Config) (ScenarioResult, error) {
+	op, err := sc.setup(cfg)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("setup: %w", err)
+	}
+	for i := 0; i < cfg.Warmup; i++ {
+		var st opStats
+		if err := op(&st); err != nil {
+			return ScenarioResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	runtime.GC() // settle the heap so the measured window is comparable
+
+	stopCPU, err := startCPUProfile(cfg.ProfileDir, sc.name)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var agg aggregate
+	for i := 0; i < cfg.Reps; i++ {
+		var st opStats
+		if err := op(&st); err != nil {
+			stopCPU()
+			return ScenarioResult{}, err
+		}
+		if cfg.Handicap > 0 {
+			time.Sleep(cfg.Handicap)
+		}
+		agg.add(&st)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	stopCPU()
+	if err := writeHeapProfile(cfg.ProfileDir, sc.name); err != nil {
+		return ScenarioResult{}, err
+	}
+
+	ops := float64(cfg.Reps)
+	secs := elapsed.Seconds()
+	res := ScenarioResult{
+		Name:            sc.name,
+		Ops:             cfg.Reps,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / ops,
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / ops,
+		AllocBytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / ops,
+	}
+	if secs > 0 {
+		res.RowsPerSec = float64(agg.rows) / secs
+		res.BytesPerSec = float64(agg.bytes) / secs
+		res.QueriesPerSec = float64(agg.queries) / secs
+	}
+	if agg.ratioOps > 0 {
+		res.Ratio = agg.ratioSum / float64(agg.ratioOps)
+	}
+	res.PhaseNs, res.PhaseAllocBytes = agg.phases(ops)
+	return res, nil
+}
+
+// aggregate accumulates per-op reports across the measured iterations.
+type aggregate struct {
+	rows, bytes, queries int
+	ratioSum             float64
+	ratioOps             int
+	phaseNs              map[string]float64
+	phaseAllocBytes      map[string]float64
+}
+
+func (a *aggregate) add(st *opStats) {
+	a.rows += st.rows
+	a.bytes += st.bytes
+	a.queries += st.queries
+	if st.ratio > 0 {
+		a.ratioSum += st.ratio
+		a.ratioOps++
+	}
+	if st.trace == nil {
+		return
+	}
+	if a.phaseNs == nil {
+		a.phaseNs = map[string]float64{}
+		a.phaseAllocBytes = map[string]float64{}
+	}
+	for _, sp := range st.trace.Spans() {
+		if sp.Depth == 0 {
+			continue // the root duplicates NsPerOp
+		}
+		a.phaseNs[sp.Name] += float64(sp.Duration().Nanoseconds())
+		if res, ok := sp.Resources(); ok {
+			a.phaseAllocBytes[sp.Name] += float64(res.AllocBytes)
+		}
+	}
+}
+
+// phases averages the accumulated per-phase sums over the op count.
+func (a *aggregate) phases(ops float64) (ns, allocBytes map[string]float64) {
+	if len(a.phaseNs) == 0 {
+		return nil, nil
+	}
+	ns = make(map[string]float64, len(a.phaseNs))
+	for k, v := range a.phaseNs {
+		ns[k] = v / ops
+	}
+	if len(a.phaseAllocBytes) > 0 {
+		allocBytes = make(map[string]float64, len(a.phaseAllocBytes))
+		for k, v := range a.phaseAllocBytes {
+			allocBytes[k] = v / ops
+		}
+	}
+	return ns, allocBytes
+}
+
+// profilePath flattens a scenario name into a file name:
+// compress/cdr → <dir>/compress_cdr_<kind>.pprof.
+func profilePath(dir, name, kind string) string {
+	return filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+"_"+kind+".pprof")
+}
+
+// startCPUProfile begins a CPU profile for the scenario when profiling
+// is enabled; the returned stop is always safe to call.
+func startCPUProfile(dir, name string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(profilePath(dir, name, "cpu"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: closing cpu profile: %v\n", err)
+		}
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap after a scenario's measured loop.
+func writeHeapProfile(dir, name string) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(profilePath(dir, name, "heap"))
+	if err != nil {
+		return err
+	}
+	runtime.GC() // up-to-date allocation data in the profile
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultThreshold is the fractional worsening past which a metric delta
+// counts as a regression. Wall-clock benchmarks are noisy — especially
+// on shared CI runners — so the default is deliberately generous; an
+// engine PR claiming a speedup should tighten it (or simply read the
+// report).
+const DefaultThreshold = 0.40
+
+// DiffOptions tunes snapshot comparison.
+type DiffOptions struct {
+	// Threshold is the fractional worsening (0.40 = 40% worse) that
+	// flags a regression; <= 0 selects DefaultThreshold.
+	Threshold float64
+}
+
+// metricDef names a compared ScenarioResult metric and how to judge it.
+type metricDef struct {
+	name        string
+	get         func(ScenarioResult) float64
+	higherWorse bool
+}
+
+// diffMetrics are the per-scenario metrics the diff gates on, in report
+// order. Phase-level numbers are attribution detail, not gates: a real
+// slowdown always surfaces in one of these totals.
+var diffMetrics = []metricDef{
+	{"ns_per_op", func(r ScenarioResult) float64 { return r.NsPerOp }, true},
+	{"allocs_per_op", func(r ScenarioResult) float64 { return r.AllocsPerOp }, true},
+	{"alloc_bytes_per_op", func(r ScenarioResult) float64 { return r.AllocBytesPerOp }, true},
+	{"rows_per_sec", func(r ScenarioResult) float64 { return r.RowsPerSec }, false},
+	{"bytes_per_sec", func(r ScenarioResult) float64 { return r.BytesPerSec }, false},
+	{"queries_per_sec", func(r ScenarioResult) float64 { return r.QueriesPerSec }, false},
+	{"compression_ratio", func(r ScenarioResult) float64 { return r.Ratio }, true},
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	// Worse is the fractional worsening: positive means the new snapshot
+	// is worse on this metric (slower, more allocations, lower
+	// throughput, fatter archives), negative means better.
+	Worse      float64 `json:"worse"`
+	Regression bool    `json:"regression"`
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// OnlyOld/OnlyNew list scenarios present in exactly one snapshot —
+	// reported, never gated on (the new-regressions-only rule: a new
+	// scenario has no baseline to regress from).
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// EnvMismatch is set when the two snapshots were recorded on
+	// different machines or toolchains.
+	EnvMismatch bool `json:"env_mismatch,omitempty"`
+	// ConfigMismatch is set when rows/seed/reps differ.
+	ConfigMismatch bool `json:"config_mismatch,omitempty"`
+}
+
+// Regressions counts deltas past the threshold.
+func (r *Report) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff compares two snapshots scenario by scenario. Scenarios are
+// matched by name; metrics that are zero on either side (a unit the
+// scenario does not measure) are skipped.
+func Diff(oldSnap, newSnap *Snapshot, opts DiffOptions) *Report {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultThreshold
+	}
+	rep := &Report{
+		Threshold:      opts.Threshold,
+		EnvMismatch:    oldSnap.Env != newSnap.Env,
+		ConfigMismatch: oldSnap.Rows != newSnap.Rows || oldSnap.Seed != newSnap.Seed || oldSnap.Reps != newSnap.Reps,
+	}
+	oldByName := make(map[string]ScenarioResult, len(oldSnap.Scenarios))
+	for _, sc := range oldSnap.Scenarios {
+		oldByName[sc.Name] = sc
+	}
+	matched := make(map[string]bool, len(newSnap.Scenarios))
+	for _, sc := range newSnap.Scenarios {
+		base, ok := oldByName[sc.Name]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, sc.Name)
+			continue
+		}
+		matched[sc.Name] = true
+		for _, m := range diffMetrics {
+			oldV, newV := m.get(base), m.get(sc)
+			if oldV <= 0 || newV <= 0 {
+				continue
+			}
+			worse := newV/oldV - 1
+			if !m.higherWorse {
+				worse = oldV/newV - 1
+			}
+			rep.Deltas = append(rep.Deltas, Delta{
+				Scenario:   sc.Name,
+				Metric:     m.name,
+				Old:        oldV,
+				New:        newV,
+				Worse:      worse,
+				Regression: worse > opts.Threshold,
+			})
+		}
+	}
+	for _, sc := range oldSnap.Scenarios {
+		if !matched[sc.Name] {
+			rep.OnlyOld = append(rep.OnlyOld, sc.Name)
+		}
+	}
+	return rep
+}
+
+// Write renders the per-metric report: every compared metric with its
+// old/new values and signed change, regressions marked, then a one-line
+// verdict. The format is the human receipt an engine PR pastes next to
+// its speedup claim.
+func (r *Report) Write(w io.Writer) {
+	if r.EnvMismatch {
+		fmt.Fprintln(w, "warning: snapshots recorded on different environments; deltas may reflect the machine, not the code")
+	}
+	if r.ConfigMismatch {
+		fmt.Fprintln(w, "warning: snapshots recorded with different rows/seed/reps; deltas are not comparable like-for-like")
+	}
+	fmt.Fprintf(w, "%-24s %-20s %14s %14s %9s\n", "scenario", "metric", "old", "new", "change")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-24s %-20s %14s %14s %+8.1f%%%s\n",
+			d.Scenario, d.Metric, fmtMetric(d.Old), fmtMetric(d.New), signedChange(d), mark)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(w, "%-24s removed (present only in old snapshot)\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(w, "%-24s added (no baseline; not gated)\n", name)
+	}
+	if n := r.Regressions(); n > 0 {
+		fmt.Fprintf(w, "%d metric(s) regressed more than %.0f%%\n", n, r.Threshold*100)
+	} else {
+		fmt.Fprintf(w, "no regressions past %.0f%%\n", r.Threshold*100)
+	}
+}
+
+// signedChange renders the raw directional change of the metric's value
+// (new vs old), independent of which direction is "worse".
+func signedChange(d Delta) float64 {
+	return (d.New/d.Old - 1) * 100
+}
+
+// fmtMetric renders large values compactly (1.23e9-style would hide
+// small deltas; k/M suffixes keep columns readable).
+func fmtMetric(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

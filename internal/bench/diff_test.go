@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapWith(results ...ScenarioResult) *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		Env:           Fingerprint(),
+		Rows:          1000, Seed: 1, Warmup: 1, Reps: 3,
+		Scenarios: results,
+	}
+}
+
+func TestDiffIdenticalSnapshots(t *testing.T) {
+	a := snapWith(ScenarioResult{
+		Name: "compress/cdr", Ops: 3,
+		NsPerOp: 1e8, AllocsPerOp: 1000, AllocBytesPerOp: 1e6,
+		RowsPerSec: 1e4, Ratio: 0.2,
+	})
+	rep := Diff(a, a, DiffOptions{})
+	if n := rep.Regressions(); n != 0 {
+		t.Fatalf("identical snapshots: %d regressions, want 0", n)
+	}
+	if rep.EnvMismatch || rep.ConfigMismatch {
+		t.Errorf("identical snapshots flagged as mismatched: %+v", rep)
+	}
+	var b strings.Builder
+	rep.Write(&b)
+	if !strings.Contains(b.String(), "no regressions") {
+		t.Errorf("report missing verdict:\n%s", b.String())
+	}
+}
+
+// TestDiffDirections: each metric regresses in its own bad direction —
+// time and allocations up, throughput down, ratio up — and improvements
+// never flag.
+func TestDiffDirections(t *testing.T) {
+	base := ScenarioResult{
+		Name: "compress/cdr", Ops: 3,
+		NsPerOp: 1e8, AllocsPerOp: 1000, AllocBytesPerOp: 1e6,
+		RowsPerSec: 1e4, BytesPerSec: 1e6, QueriesPerSec: 100, Ratio: 0.2,
+	}
+	slower := base
+	slower.NsPerOp *= 2       // worse: slower
+	slower.RowsPerSec /= 2    // worse: less throughput
+	slower.AllocsPerOp *= 10  // worse: more allocations
+	slower.Ratio = 0.4        // worse: fatter archive
+	slower.QueriesPerSec *= 2 // better — must NOT flag
+
+	rep := Diff(snapWith(base), snapWith(slower), DiffOptions{Threshold: 0.5})
+	gotRegressed := map[string]bool{}
+	for _, d := range rep.Deltas {
+		if d.Regression {
+			gotRegressed[d.Metric] = true
+		}
+	}
+	for _, want := range []string{"ns_per_op", "rows_per_sec", "allocs_per_op", "compression_ratio"} {
+		if !gotRegressed[want] {
+			t.Errorf("metric %s did not flag as regression; deltas: %+v", want, rep.Deltas)
+		}
+	}
+	if gotRegressed["queries_per_sec"] {
+		t.Error("improved queries/sec flagged as regression")
+	}
+
+	var b strings.Builder
+	rep.Write(&b)
+	out := b.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "ns_per_op") {
+		t.Errorf("report not readable per-metric:\n%s", out)
+	}
+
+	// The reverse diff (slowdown as baseline, fast as new) flags only the
+	// one metric that actually got worse in that direction: queries/sec.
+	rev := Diff(snapWith(slower), snapWith(base), DiffOptions{Threshold: 0.5})
+	for _, d := range rev.Deltas {
+		if d.Regression != (d.Metric == "queries_per_sec") {
+			t.Errorf("reverse diff: %s regression=%v, want %v", d.Metric, d.Regression, !d.Regression)
+		}
+	}
+}
+
+// TestDiffNewAndRemovedScenarios: scenarios without a counterpart are
+// reported but never gated (the new-regressions-only rule).
+func TestDiffNewAndRemovedScenarios(t *testing.T) {
+	old := snapWith(
+		ScenarioResult{Name: "compress/cdr", NsPerOp: 1e8},
+		ScenarioResult{Name: "micro/legacy", NsPerOp: 1e6},
+	)
+	cur := snapWith(
+		ScenarioResult{Name: "compress/cdr", NsPerOp: 1e8},
+		ScenarioResult{Name: "compress/segmented", NsPerOp: 9e9},
+	)
+	rep := Diff(old, cur, DiffOptions{})
+	if n := rep.Regressions(); n != 0 {
+		t.Fatalf("unmatched scenarios gated: %d regressions", n)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "micro/legacy" {
+		t.Errorf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "compress/segmented" {
+		t.Errorf("OnlyNew = %v", rep.OnlyNew)
+	}
+}
+
+// TestDiffMismatchWarnings: differing env or config is surfaced in the
+// report so nobody trusts an apples-to-oranges comparison.
+func TestDiffMismatchWarnings(t *testing.T) {
+	a := snapWith(ScenarioResult{Name: "compress/cdr", NsPerOp: 1e8})
+	b := snapWith(ScenarioResult{Name: "compress/cdr", NsPerOp: 1e8})
+	b.Rows = 99999
+	b.Env.GoVersion = "go9.99"
+	rep := Diff(a, b, DiffOptions{})
+	if !rep.ConfigMismatch || !rep.EnvMismatch {
+		t.Fatalf("mismatches not detected: %+v", rep)
+	}
+	var w strings.Builder
+	rep.Write(&w)
+	if !strings.Contains(w.String(), "warning:") {
+		t.Errorf("report missing warnings:\n%s", w.String())
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SchemaVersion is the BENCH_<n>.json schema version. Bump it on any
+// incompatible change to Snapshot's shape; ReadSnapshot refuses versions
+// it does not understand so a diff never silently compares mismatched
+// schemas.
+const SchemaVersion = 1
+
+// Snapshot is one recorded point of the performance trajectory — the
+// serialized form of a full bench run, written as BENCH_<n>.json.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedAt     string `json:"created_at"` // RFC 3339, UTC
+	Env           Env    `json:"env"`
+
+	// The run configuration, so two snapshots are known-comparable (Diff
+	// warns when they are not).
+	Rows   int   `json:"rows"`
+	Seed   int64 `json:"seed"`
+	Warmup int   `json:"warmup"`
+	Reps   int   `json:"reps"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is one scenario's measured numbers, all per-op averages
+// over the measured repetitions.
+type ScenarioResult struct {
+	Name string `json:"name"`
+	Ops  int    `json:"ops"` // measured iterations
+
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+
+	// Throughput rates over the measured window; zero when the scenario
+	// does not process that unit.
+	RowsPerSec    float64 `json:"rows_per_sec,omitempty"`
+	BytesPerSec   float64 `json:"bytes_per_sec,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+
+	// Ratio is the compression ratio (compressed/raw, smaller is better)
+	// for pipeline scenarios.
+	Ratio float64 `json:"compression_ratio,omitempty"`
+
+	// PhaseNs/PhaseAllocBytes attribute the op to the §4.2 pipeline
+	// phases (span names → mean ns and allocated bytes per op), for
+	// scenarios that run under a resource-capturing trace.
+	PhaseNs         map[string]float64 `json:"phase_ns,omitempty"`
+	PhaseAllocBytes map[string]float64 `json:"phase_alloc_bytes,omitempty"`
+}
+
+// String renders a one-line summary (progress output and perf listing).
+func (r ScenarioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10v/op  %8.0f allocs/op  %10s B/op",
+		r.Name, time.Duration(r.NsPerOp).Round(time.Microsecond),
+		r.AllocsPerOp, fmtRate(r.AllocBytesPerOp))
+	if r.RowsPerSec > 0 {
+		fmt.Fprintf(&b, "  %8s rows/s", fmtRate(r.RowsPerSec))
+	}
+	if r.QueriesPerSec > 0 {
+		fmt.Fprintf(&b, "  %6.1f queries/s", r.QueriesPerSec)
+	}
+	if r.Ratio > 0 {
+		fmt.Fprintf(&b, "  ratio %.4f", r.Ratio)
+	}
+	return b.String()
+}
+
+// Env fingerprints the machine and toolchain a snapshot was recorded on.
+// Two snapshots are only honestly comparable when their fingerprints
+// match; Diff prints a warning when they do not.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPU        string `json:"cpu,omitempty"` // model name, best-effort
+}
+
+func (e Env) String() string {
+	s := fmt.Sprintf("%s %s/%s gomaxprocs=%d cpus=%d", e.GoVersion, e.GOOS, e.GOARCH, e.GOMAXPROCS, e.NumCPU)
+	if e.CPU != "" {
+		s += " " + e.CPU
+	}
+	return s
+}
+
+// Fingerprint samples the environment. It is deterministic within a
+// process (and across processes on the same machine and toolchain).
+func Fingerprint() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPU:        cpuModel(),
+	}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (linux;
+// best-effort, "" elsewhere).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer func() {
+		_ = f.Close() // read-only file
+	}()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// WriteFile writes the snapshot as indented JSON with a trailing newline.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSnapshot loads and validates one BENCH_<n>.json.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema version %d, this tool understands %d",
+			path, s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// snapshotName matches versioned snapshot files: BENCH_<n>.json.
+var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextPath returns the next unused auto-numbered snapshot path under
+// dir: one past the highest existing BENCH_<n>.json, starting at 1.
+func NextPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := snapshotName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

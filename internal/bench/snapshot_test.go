@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleSnapshot exercises every schema field, including the optional
+// ones, so the round-trip test covers the full shape.
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-08-09T12:00:00Z",
+		Env: Env{
+			GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64",
+			GOMAXPROCS: 1, NumCPU: 1, CPU: "Test CPU @ 1.0GHz",
+		},
+		Rows: 4000, Seed: 1, Warmup: 1, Reps: 3,
+		Scenarios: []ScenarioResult{
+			{
+				Name: "compress/cdr", Ops: 3,
+				NsPerOp: 1.25e8, AllocsPerOp: 120345, AllocBytesPerOp: 4.5e7,
+				RowsPerSec: 32000, BytesPerSec: 9.6e5, Ratio: 0.19,
+				PhaseNs:         map[string]float64{"cart_selection": 6e7, "encode": 1e7},
+				PhaseAllocBytes: map[string]float64{"cart_selection": 3e7, "encode": 5e6},
+			},
+			{
+				Name: "query/aggregate", Ops: 3,
+				NsPerOp: 2.5e6, AllocsPerOp: 820, AllocBytesPerOp: 65536,
+				RowsPerSec: 1.6e6, QueriesPerSec: 400,
+			},
+		},
+	}
+}
+
+// TestSnapshotRoundTrip is the schema golden test: marshal → unmarshal
+// → deep-equal. Any field that does not survive the trip (lossy tags,
+// time types with monotonic clocks, unexported data) fails here before
+// it can corrupt a recorded trajectory.
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReadSnapshotRejectsUnknownSchema: a future-versioned file must be
+// refused, not silently mis-diffed.
+func TestReadSnapshotRejectsUnknownSchema(t *testing.T) {
+	s := sampleSnapshot()
+	s.SchemaVersion = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("ReadSnapshot accepted an unknown schema version")
+	}
+}
+
+// TestFingerprintDeterministic: the environment fingerprint must be
+// stable within a process — it is the comparability key of the recorded
+// trajectory.
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b {
+		t.Errorf("Fingerprint not deterministic:\n a %+v\n b %+v", a, b)
+	}
+	if a.GoVersion == "" || a.GOOS == "" || a.GOARCH == "" || a.GOMAXPROCS <= 0 || a.NumCPU <= 0 {
+		t.Errorf("Fingerprint has empty required fields: %+v", a)
+	}
+}
+
+// TestNextPath: auto-numbering starts at 1, skips past the highest
+// existing snapshot, and ignores non-matching files.
+func TestNextPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_1.json"); p != want {
+		t.Errorf("empty dir: NextPath = %q, want %q", p, want)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_7.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_8.json"); p != want {
+		t.Errorf("NextPath = %q, want %q", p, want)
+	}
+}

@@ -161,6 +161,9 @@ func RunSpartan(t *table.Table, opts core.Options) (CompressorResult, *core.Stat
 	start := time.Now()
 	if TraceSink != nil && opts.Trace == nil {
 		opts.Trace = obs.NewTrace(fmt.Sprintf("spartan rows=%d", t.NumRows()))
+		// Printed trees carry per-phase allocation attribution alongside
+		// durations (see obs.Span.Resources).
+		opts.Trace.CaptureResources()
 	}
 	var counter countingWriter
 	stats, err := core.Compress(&counter, t, opts)

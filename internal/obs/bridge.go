@@ -1,0 +1,51 @@
+package obs
+
+// Span→registry bridge: the generic per-phase metric families that turn
+// any trace's finished spans into Prometheus histograms. The HTTP
+// service attaches the observer to its /compress and /query traces so
+// the §4.2 phase tree that `-trace` prints is also quantified on
+// /metrics — in wall-clock seconds and, for resource-capturing traces,
+// in allocated bytes and objects.
+
+// Default bucket layouts for the bridge's allocation histograms: 1 KiB
+// to 4 GiB (bytes) and 16 to 64 M (objects), quadrupling per bucket.
+var (
+	allocBytesBuckets = ExponentialBuckets(1<<10, 4, 12)
+	allocObjsBuckets  = ExponentialBuckets(16, 4, 12)
+)
+
+// NewSpanObserver registers the bridge families on reg and returns an
+// observer for Trace.OnSpanEnd. Every finished span is recorded as
+//
+//	spartan_phase_duration_seconds{trace,phase}  span duration
+//	spartan_phase_alloc_bytes{trace,phase}       heap bytes allocated while open
+//	spartan_phase_allocs{trace,phase}            heap objects allocated while open
+//
+// where trace is the trace's name ("compress", "query", …) and phase is
+// the span's name; root spans appear under their own name, so a trace's
+// total duration is the phase matching its root. The allocation families
+// are only fed by resource-capturing traces (Trace.CaptureResources).
+// Calling NewSpanObserver repeatedly on the same registry is cheap and
+// safe: the families are shared.
+func NewSpanObserver(reg *Registry) func(*Span) {
+	seconds := reg.Histogram("spartan_phase_duration_seconds",
+		"Pipeline span duration in seconds, by trace and phase (span name).",
+		DefBuckets, "trace", "phase")
+	allocBytes := reg.Histogram("spartan_phase_alloc_bytes",
+		"Heap bytes allocated while the span was open, by trace and phase.",
+		allocBytesBuckets, "trace", "phase")
+	allocs := reg.Histogram("spartan_phase_allocs",
+		"Heap objects allocated while the span was open, by trace and phase.",
+		allocObjsBuckets, "trace", "phase")
+	return func(sp *Span) {
+		if sp == nil {
+			return
+		}
+		tr := sp.tr.Name()
+		seconds.Observe(sp.Duration().Seconds(), tr, sp.Name)
+		if res, ok := sp.Resources(); ok {
+			allocBytes.Observe(float64(res.AllocBytes), tr, sp.Name)
+			allocs.Observe(float64(res.AllocObjects), tr, sp.Name)
+		}
+	}
+}

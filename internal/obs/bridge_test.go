@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpanObserverExposition asserts the bridge renders the per-phase
+// histograms under their stable names: dashboards and the recorded perf
+// trajectory key off these exact family/label identifiers.
+func TestSpanObserverExposition(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace("compress")
+	tr.CaptureResources()
+	tr.OnSpanEnd(NewSpanObserver(reg))
+
+	root := tr.Start("compress")
+	child := root.StartChild("encode")
+	sink = make([]byte, 64<<10) // give the allocation delta something to see
+	child.Finish()
+	root.Finish()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE spartan_phase_duration_seconds histogram",
+		`spartan_phase_duration_seconds_count{trace="compress",phase="encode"} 1`,
+		`spartan_phase_duration_seconds_count{trace="compress",phase="compress"} 1`,
+		"# TYPE spartan_phase_alloc_bytes histogram",
+		`spartan_phase_alloc_bytes_count{trace="compress",phase="encode"} 1`,
+		"# TYPE spartan_phase_allocs histogram",
+		`spartan_phase_allocs_count{trace="compress",phase="compress"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// sink keeps the test allocation observable by the runtime counters.
+var sink []byte
+
+// TestSpanObserverNoResources: a trace without CaptureResources feeds the
+// duration family only — the allocation families stay empty (and hence
+// unrendered).
+func TestSpanObserverNoResources(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace("query")
+	tr.OnSpanEnd(NewSpanObserver(reg))
+	sp := tr.Start("decode")
+	sp.Finish()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `spartan_phase_duration_seconds_count{trace="query",phase="decode"} 1`) {
+		t.Errorf("duration family missing:\n%s", out)
+	}
+	if strings.Contains(out, "spartan_phase_alloc_bytes") {
+		t.Errorf("alloc family rendered for a non-capturing trace:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "runtime/metrics"
+
+// Resources is the allocation cost attributed to a span: deltas of the
+// process-wide heap allocation counters (runtime/metrics) between the
+// span's start and finish. For the single-goroutine pipeline phases the
+// delta is exact attribution; when other goroutines allocate while the
+// span is open their allocations are included, so under concurrency the
+// numbers are an upper bound per span (and still sum consistently across
+// a sequential phase tree).
+type Resources struct {
+	AllocBytes   uint64 // heap bytes allocated while the span was open
+	AllocObjects uint64 // heap objects allocated while the span was open
+}
+
+// Sub returns the counter delta r−start, clamping at zero so a torn read
+// can never produce a wrapped huge value.
+func (r Resources) Sub(start Resources) Resources {
+	var d Resources
+	if r.AllocBytes > start.AllocBytes {
+		d.AllocBytes = r.AllocBytes - start.AllocBytes
+	}
+	if r.AllocObjects > start.AllocObjects {
+		d.AllocObjects = r.AllocObjects - start.AllocObjects
+	}
+	return d
+}
+
+// resourceMetrics are the runtime/metrics cumulative counters sampled at
+// span boundaries. Both are monotonic uint64 totals since process start.
+var resourceMetrics = [...]string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+}
+
+// ReadResources samples the cumulative process allocation counters. Two
+// ReadResources calls bracketing a section of code give that section's
+// allocation cost via Sub; reading costs well under a microsecond, so
+// bracketing every pipeline phase is free at SPARTAN's time scales.
+//
+// Granularity: small-object allocations are batched in per-P caches and
+// only reach these counters when a cache span is exhausted, so a delta
+// can lag by up to a cache span per size class; large objects (>32 KiB)
+// are visible immediately. Pipeline phases allocate megabytes, so the
+// lag is noise there — but do not expect exact byte accounting across a
+// section that allocates only a few small objects (the bench harness
+// uses runtime.ReadMemStats for its exact allocs/op numbers instead).
+func ReadResources() Resources {
+	var s [len(resourceMetrics)]metrics.Sample
+	for i, name := range resourceMetrics {
+		s[i].Name = name
+	}
+	metrics.Read(s[:])
+	return Resources{
+		AllocBytes:   s[0].Value.Uint64(),
+		AllocObjects: s[1].Value.Uint64(),
+	}
+}

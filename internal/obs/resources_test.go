@@ -1,0 +1,52 @@
+package obs
+
+import "testing"
+
+// TestSpanResources: a resource-capturing trace attributes a visible
+// allocation to the span that made it, and non-capturing traces report
+// ok=false.
+func TestSpanResources(t *testing.T) {
+	tr := NewTrace("t")
+	tr.CaptureResources()
+	sp := tr.Start("alloc")
+	sink = make([]byte, 1<<20)
+	sp.Finish()
+
+	res, ok := sp.Resources()
+	if !ok {
+		t.Fatal("Resources() not captured on a capturing trace")
+	}
+	if res.AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= %d", res.AllocBytes, 1<<20)
+	}
+	if res.AllocObjects == 0 {
+		t.Errorf("AllocObjects = 0, want > 0")
+	}
+
+	plain := NewTrace("t2").Start("p")
+	plain.Finish()
+	if _, ok := plain.Resources(); ok {
+		t.Error("Resources() ok on a non-capturing trace")
+	}
+	var nilSpan *Span
+	if _, ok := nilSpan.Resources(); ok {
+		t.Error("Resources() ok on a nil span")
+	}
+}
+
+// TestReadResourcesMonotonic: the sampled counters never go backwards,
+// and Sub clamps rather than wrapping. The probe allocation is large
+// (>32 KiB) so it bypasses the per-P allocation cache and is visible to
+// the counters immediately.
+func TestReadResourcesMonotonic(t *testing.T) {
+	a := ReadResources()
+	sink = make([]byte, 1<<20)
+	b := ReadResources()
+	d := b.Sub(a)
+	if d.AllocBytes == 0 {
+		t.Error("no bytes attributed across an allocation")
+	}
+	if z := a.Sub(b); z.AllocBytes != 0 || z.AllocObjects != 0 {
+		t.Errorf("Sub of earlier-minus-later = %+v, want zero", z)
+	}
+}

@@ -35,6 +35,12 @@ type Span struct {
 
 	tr    *Trace
 	attrs []Attr
+
+	// Resource attribution (Trace.CaptureResources): the allocation
+	// counters at Start, and the delta computed at Finish.
+	resStart Resources
+	res      Resources
+	hasRes   bool
 }
 
 // SetAttr annotates the span. It returns the span for chaining and is a
@@ -87,11 +93,15 @@ func (s *Span) StartChild(name string) *Span {
 	return s.tr.start(name, s.Depth+1)
 }
 
-// Finish closes the span, stamps End, and fires the trace's OnSpanEnd
+// Finish closes the span, stamps End (and, on a resource-capturing
+// trace, the allocation delta), and fires the trace's OnSpanEnd
 // observer. Safe on a nil span; closing twice keeps the first End.
 func (s *Span) Finish() {
 	if s == nil || !s.End.IsZero() {
 		return
+	}
+	if s.hasRes {
+		s.res = ReadResources().Sub(s.resStart)
 	}
 	s.End = time.Now()
 	if s.tr != nil && s.tr.onEnd != nil {
@@ -99,12 +109,27 @@ func (s *Span) Finish() {
 	}
 }
 
+// Resources returns the span's attributed allocation deltas. ok is false
+// when the trace did not capture resources (see Trace.CaptureResources).
+// On an open span the delta covers start-to-now; once finished it is
+// frozen at the Finish-time value.
+func (s *Span) Resources() (res Resources, ok bool) {
+	if s == nil || !s.hasRes {
+		return Resources{}, false
+	}
+	if s.End.IsZero() {
+		return ReadResources().Sub(s.resStart), true
+	}
+	return s.res, true
+}
+
 // Trace collects the spans of one pipeline run. The zero value is not
 // usable; construct with NewTrace. All methods are safe on a nil *Trace,
 // so callers can thread an optional trace without guarding every call.
 type Trace struct {
-	name  string
-	onEnd func(*Span)
+	name       string
+	onEnd      func(*Span)
+	captureRes bool
 
 	mu    sync.Mutex
 	spans []*Span // in start order
@@ -133,6 +158,18 @@ func (t *Trace) OnSpanEnd(fn func(*Span)) {
 	t.onEnd = fn
 }
 
+// CaptureResources makes every span started afterwards record its
+// allocation cost (bytes and objects allocated while open, via
+// runtime/metrics — see Span.Resources). Like OnSpanEnd it must be set
+// before spans are started. The per-span cost is two counter reads,
+// well under a microsecond.
+func (t *Trace) CaptureResources() {
+	if t == nil {
+		return
+	}
+	t.captureRes = true
+}
+
 // Start opens a new root-level span. Returns nil on a nil trace.
 func (t *Trace) Start(name string) *Span {
 	if t == nil {
@@ -143,6 +180,10 @@ func (t *Trace) Start(name string) *Span {
 
 func (t *Trace) start(name string, depth int) *Span {
 	s := &Span{Name: name, Start: time.Now(), Depth: depth, tr: t}
+	if t.captureRes {
+		s.hasRes = true
+		s.resStart = ReadResources()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.spans = append(t.spans, s)
@@ -191,6 +232,9 @@ func (t *Trace) WriteTree(w io.Writer) {
 		line := fmt.Sprintf("%-36s %9v", indent+s.Name, roundDuration(s.Duration()))
 		for _, a := range s.attrs {
 			line += fmt.Sprintf("  %s=%v", a.Key, a.Value)
+		}
+		if res, ok := s.Resources(); ok {
+			line += fmt.Sprintf("  alloc_bytes=%d  allocs=%d", res.AllocBytes, res.AllocObjects)
 		}
 		fmt.Fprintln(w, line)
 	}

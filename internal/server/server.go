@@ -50,6 +50,9 @@ type Server struct {
 	log *slog.Logger
 	reg *obs.Registry
 	m   metrics
+	// spanObs bridges finished pipeline spans into the registry's generic
+	// spartan_phase_* families (obs.NewSpanObserver).
+	spanObs func(*obs.Span)
 
 	maxBodyBytes   int64
 	requestTimeout time.Duration
@@ -78,6 +81,8 @@ type metrics struct {
 	phaseSeconds   obs.Histogram // spartan_compress_phase_seconds{phase}
 	rawBytes       obs.Counter   // spartan_compress_raw_bytes_total
 	outBytes       obs.Counter   // spartan_compress_compressed_bytes_total
+
+	queryLatency obs.Histogram // spartan_query_duration_seconds
 }
 
 // Option customizes the service.
@@ -135,6 +140,7 @@ func newServer(opts ...Option) *Server {
 		o(s)
 	}
 	s.m = newMetrics(s.reg)
+	s.spanObs = obs.NewSpanObserver(s.reg)
 	return s
 }
 
@@ -209,6 +215,9 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Requests rejected by overload protection, by reason (concurrency, timeout, body_too_large).", "reason"),
 		pipelines: reg.Gauge("spartan_pipelines_in_flight",
 			"Compression/query pipelines currently executing."),
+		queryLatency: reg.Histogram("spartan_query_duration_seconds",
+			"End-to-end /query pipeline duration in seconds (decode + aggregate).",
+			obs.DefBuckets),
 	}
 }
 
@@ -299,10 +308,14 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Pipeline trace: the span observer streams per-phase durations into
-	// the registry as the phases finish.
+	// Pipeline trace: as each phase finishes, its span feeds both the
+	// compress-specific phase histogram and the generic spartan_phase_*
+	// bridge families (with allocation attribution, hence
+	// CaptureResources).
 	tr := obs.NewTrace("compress")
+	tr.CaptureResources()
 	tr.OnSpanEnd(func(sp *obs.Span) {
+		s.spanObs(sp)
 		if sp.Name != core.SpanCompress {
 			s.m.phaseSeconds.Observe(sp.Duration().Seconds(), sp.Name)
 		}
@@ -398,8 +411,19 @@ type queryGroupDTO struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// /query gets the same span treatment as /compress: a trace with one
+	// child per stage, bridged into the spartan_phase_* families, with the
+	// stage durations echoed as X-Spartan-Timing-* headers on success.
+	tr := obs.NewTrace("query")
+	tr.CaptureResources()
+	tr.OnSpanEnd(s.spanObs)
+	root := tr.Start("query")
+	defer root.Finish()
+
 	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
+	decodeSpan := root.StartChild("decode")
 	t, err := core.Decompress(body)
+	decodeSpan.Finish()
 	if err != nil {
 		s.bodyError(w, err)
 		return
@@ -440,12 +464,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	aggSpan := root.StartChild("aggregate")
 	res, err := query.Run(t, tol, query.Query{
 		Agg:     agg,
 		Column:  q.Get("col"),
 		Where:   pred,
 		GroupBy: q.Get("groupby"),
 	})
+	aggSpan.Finish()
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -459,7 +485,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Groups = append(resp.Groups, dto)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	// Close the root before stamping headers so Total is frozen (Finish is
+	// idempotent; the deferred call becomes a no-op).
+	root.Finish()
+	s.m.queryLatency.Observe(root.Duration().Seconds())
+	h := w.Header()
+	h.Set("X-Spartan-Timing-Decode", decodeSpan.Duration().String())
+	h.Set("X-Spartan-Timing-Aggregate", aggSpan.Duration().String())
+	h.Set("X-Spartan-Timing-Total", root.Duration().String())
+	h.Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/table"
@@ -160,6 +161,64 @@ func TestQueryEndpoint(t *testing.T) {
 		}
 		if *g.Lo > *g.Value || *g.Value > *g.Hi {
 			t.Errorf("group %q: value %g outside [%g, %g]", g.Key, *g.Value, *g.Lo, *g.Hi)
+		}
+	}
+	// /query reports its stage timings like /compress does (§4.2 parity).
+	for _, hdr := range []string{"X-Spartan-Timing-Decode", "X-Spartan-Timing-Aggregate", "X-Spartan-Timing-Total"} {
+		v := resp2.Header.Get(hdr)
+		if v == "" {
+			t.Errorf("missing %s header", hdr)
+			continue
+		}
+		if _, err := time.ParseDuration(v); err != nil {
+			t.Errorf("%s = %q: %v", hdr, v, err)
+		}
+	}
+}
+
+// TestPhaseMetricsExposition: one compress and one query must populate
+// the query-latency histogram and the generic spartan_phase_* bridge
+// families (per-trace, per-phase durations and allocation attribution)
+// on /metrics.
+func TestPhaseMetricsExposition(t *testing.T) {
+	srv := testServer(t)
+	tb := datagen.CDR(1200, 4)
+	resp, err := http.Post(srv.URL+"/compress?tolerance=0.01", "application/octet-stream", tableBody(t, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	resp2, err := http.Post(srv.URL+"/query?agg=count", "application/x-spartan", bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp2.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`spartan_query_duration_seconds_count 1`,
+		`spartan_phase_duration_seconds_count{trace="query",phase="decode"} 1`,
+		`spartan_phase_duration_seconds_count{trace="query",phase="aggregate"} 1`,
+		`spartan_phase_duration_seconds_count{trace="compress",phase="cart_selection"} 1`,
+		`spartan_phase_alloc_bytes_count{trace="compress",phase="encode"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
 		}
 	}
 }
