@@ -26,9 +26,12 @@ lint: bin/spartanvet
 	$(GO) vet -vettool=$(CURDIR)/bin/spartanvet ./...
 
 # sarif aggregates the whole module into one SARIF 2.1.0 log for GitHub
-# code scanning; it reports rather than gates (exit 0 on findings).
+# code scanning; it reports rather than gates (exit 0 on findings), but
+# the emitted log must pass the strict validator before anyone uploads
+# or diffs it.
 sarif: bin/spartanvet
 	./bin/spartanvet -sarif ./... > spartanvet.sarif
+	./bin/spartanvet -sarifvalidate spartanvet.sarif
 
 # sarifdiff is the local equivalent of CI's PR gate: build BASE's report
 # with BASE's own tool in a throwaway worktree, build the working tree's
@@ -63,6 +66,10 @@ BENCH_DIR ?= .
 bench-json:
 	$(GO) run ./cmd/spartanbench perf -rows $(BENCH_ROWS) -reps $(BENCH_REPS) -dir $(BENCH_DIR)
 
+# OLD defaults to the newest snapshot committed to git (the recorded
+# baseline), so `make benchdiff NEW=BENCH_2.json` gates against the
+# trajectory without spelling out which point.
+OLD ?= $(shell git ls-files 'BENCH_*.json' | sort -V | tail -1)
 benchdiff:
 	$(GO) run ./cmd/spartanbench diff $(OLD) $(NEW)
 

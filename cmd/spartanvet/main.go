@@ -13,9 +13,14 @@
 // untrusted wire integers reaching allocations unguarded, sizeoverflow:
 // overflow-prone arithmetic on wire values), fed by the funcsummary fact
 // producer, which hands per-function dataflow summaries across package
-// boundaries through vet's .vetx fact files. A synthetic
-// check, staleignore, flags //spartanvet:ignore directives that no
-// longer suppress anything.
+// boundaries through vet's .vetx fact files; four are concurrency
+// analyzers built on the goroutine-spawn model, lockset dataflow and
+// concsummary facts in internal/analysis/conc (locksetrace: goroutine
+// accesses with provably disjoint locksets, gocapture: loop state
+// captured by reference in go closures, boundedspawn: per-row goroutine
+// spawns with no concurrency bound, chanleak: goroutines parked forever
+// on a local channel). A synthetic check, staleignore, flags
+// //spartanvet:ignore directives that no longer suppress anything.
 //
 // It speaks the `go vet` tool protocol; run it through the go command:
 //
@@ -41,6 +46,11 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/conc"
+	"repro/internal/analysis/conc/boundedspawn"
+	"repro/internal/analysis/conc/chanleak"
+	"repro/internal/analysis/conc/gocapture"
+	"repro/internal/analysis/conc/locksetrace"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/deferloop"
 	"repro/internal/analysis/errcheckio"
@@ -72,5 +82,10 @@ func main() {
 		summary.Analyzer,
 		taintalloc.Analyzer,
 		sizeoverflow.Analyzer,
+		conc.Analyzer,
+		locksetrace.Analyzer,
+		gocapture.Analyzer,
+		boundedspawn.Analyzer,
+		chanleak.Analyzer,
 	})
 }

@@ -1,0 +1,12 @@
+package boundedspawn_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/conc/boundedspawn"
+)
+
+func TestBoundedspawn(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", boundedspawn.Analyzer, "boundedspawn")
+}

@@ -1,0 +1,461 @@
+// Package chanleak flags goroutines that can block forever on a local
+// unbuffered channel. The classic shape is an early return between the
+// spawn and the receive:
+//
+//	ch := make(chan result)
+//	go func() { ch <- slow() }()
+//	if err := check(); err != nil {
+//	    return err // goroutine blocks on ch forever
+//	}
+//	res := <-ch
+//
+// The sender parks on the unbuffered send until someone receives; if
+// every path to the receive can be skipped, the goroutine (stack,
+// captured memory, the in-flight result) leaks for the life of the
+// process. The daemon calls these functions per request, so each leak
+// compounds.
+//
+// The analyzer tracks channels created by a local `ch := make(chan T)`
+// (unbuffered) whose uses it can fully enumerate. For each blocking
+// operation on such a channel inside a spawned goroutine it looks for
+// the counterpart operation — a receive for a send, a send or close for
+// a receive, a close for a range — and reports when either no
+// counterpart exists in the function at all, or the counterparts live
+// in the spawning function and the control-flow graph has a path from
+// the spawn to the function's exit that avoids all of them.
+//
+// Channels that escape — passed to calls, stored, returned, captured by
+// closures that are not directly go-spawned (deferred ones included) —
+// are skipped: their counterpart may be anywhere. Operations inside a
+// select with a default case or with multiple communication cases are
+// not treated as blocking, and are still accepted as counterparts.
+package chanleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer flags goroutines parked forever on a local channel.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanleak",
+	Doc: "flag goroutines that can block forever on a local unbuffered channel\n\n" +
+		"A spawned goroutine sending or receiving on an unbuffered channel\n" +
+		"leaks when some path to the function's exit skips the counterpart\n" +
+		"operation. Receive on every path before returning, buffer the channel\n" +
+		"to the number of sends, or select on a cancellation signal.",
+	Run: run,
+}
+
+var scope = []string{"core", "codec", "selector", "cart", "fascicle", "obs", "server", "spartand", "bench"}
+
+const (
+	opSend = iota
+	opRecv
+	opRange
+	opClose
+)
+
+// op is one channel operation: where, what, which goroutine performs it
+// (owner nil = the spawning function), and whether a surrounding select
+// makes it non-blocking.
+type op struct {
+	pos      token.Pos
+	kind     int
+	owner    *ast.FuncLit
+	nonblock bool
+}
+
+// chanState accumulates what one tracked channel's value does.
+type chanState struct {
+	v       *types.Var
+	decl    token.Pos
+	escaped bool
+	ops     []op
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	chans := localUnbufferedChans(info, body)
+	if len(chans) == 0 {
+		return
+	}
+	spawnOf := map[*ast.FuncLit]*ast.GoStmt{}
+	w := &walker{info: info, chans: chans, spawnOf: spawnOf, consumed: map[*ast.Ident]bool{}}
+	w.walk(body, nil, false, false)
+
+	var g *cfg.CFG // built lazily; only needed for the path check
+	for _, cs := range chans {
+		if cs.escaped {
+			continue
+		}
+		for _, o := range cs.ops {
+			if o.owner == nil || o.nonblock || o.kind == opClose {
+				continue
+			}
+			var counters []op
+			for _, c := range cs.ops {
+				if c.owner == o.owner || !isCounterpart(o.kind, c.kind) {
+					continue
+				}
+				counters = append(counters, c)
+			}
+			goStmt := spawnOf[o.owner]
+			if goStmt == nil {
+				continue
+			}
+			if len(counters) == 0 {
+				report(pass, cs, o, goStmt, token.NoPos,
+					"no "+counterName(o.kind)+" anywhere in the function")
+				continue
+			}
+			// A counterpart in another goroutine: the pairing is between
+			// the two goroutines, independent of the spawner's paths.
+			inOther := false
+			var outer []op
+			for _, c := range counters {
+				if c.owner != nil {
+					inOther = true
+				} else {
+					outer = append(outer, c)
+				}
+			}
+			if inOther {
+				continue
+			}
+			if g == nil {
+				g = cfg.New(body)
+			}
+			if witness, leaks := exitAvoiding(g, goStmt, outer); leaks {
+				report(pass, cs, o, goStmt, witness,
+					"a path to the function's exit skips every "+counterName(o.kind))
+			}
+		}
+	}
+}
+
+func report(pass *analysis.Pass, cs *chanState, o op, goStmt *ast.GoStmt, witness token.Pos, why string) {
+	verb := map[int]string{opSend: "sending on", opRecv: "receiving from", opRange: "ranging over"}[o.kind]
+	related := []analysis.RelatedLocation{
+		{Pos: cs.decl, Message: fmt.Sprintf("%s is unbuffered: every %s blocks until its counterpart", cs.v.Name(), opName(o.kind))},
+		{Pos: goStmt.Pos(), Message: "goroutine spawned here"},
+		{Pos: o.pos, Message: fmt.Sprintf("blocks here %s %s", verb, cs.v.Name())},
+	}
+	if witness != token.NoPos {
+		related = append(related, analysis.RelatedLocation{Pos: witness, Message: "function can exit here without the counterpart operation"})
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: o.pos,
+		Message: fmt.Sprintf("goroutine can block forever %s %s: %s; perform the %s on every path, buffer the channel, or select on a cancellation signal",
+			verb, cs.v.Name(), why, counterName(o.kind)),
+		Related: related,
+	})
+}
+
+func opName(kind int) string {
+	return map[int]string{opSend: "send", opRecv: "receive", opRange: "receive", opClose: "close"}[kind]
+}
+
+// counterName names what would unblock an operation of this kind.
+func counterName(kind int) string {
+	switch kind {
+	case opSend:
+		return "receive"
+	case opRecv:
+		return "send or close"
+	default:
+		return "close"
+	}
+}
+
+func isCounterpart(blocked, other int) bool {
+	switch blocked {
+	case opSend:
+		return other == opRecv || other == opRange
+	case opRecv:
+		return other == opSend || other == opClose
+	case opRange:
+		return other == opClose
+	}
+	return false
+}
+
+// exitAvoiding reports whether a CFG path runs from the spawn to the
+// function's exit without entering any block holding a counterpart. The
+// witness is the last statement of the final block on one such path.
+func exitAvoiding(g *cfg.CFG, goStmt *ast.GoStmt, outer []op) (witness token.Pos, leaks bool) {
+	spawnBlock := g.BlockOf(goStmt.Pos())
+	if spawnBlock == nil || len(g.Blocks) < 2 {
+		return token.NoPos, false
+	}
+	blocked := map[*cfg.Block]bool{}
+	for _, c := range outer {
+		b := g.BlockOf(c.pos)
+		if b == nil {
+			return token.NoPos, false // unlocatable counterpart: assume it covers
+		}
+		// Straight-line counterpart after the spawn in the same block
+		// covers the fallthrough path.
+		if b == spawnBlock && c.pos > goStmt.End() {
+			return token.NoPos, false
+		}
+		blocked[b] = true
+	}
+	exit := g.Blocks[1]
+	parent := map[*cfg.Block]*cfg.Block{spawnBlock: nil}
+	queue := []*cfg.Block{spawnBlock}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, s := range b.Succs {
+			if blocked[s] {
+				continue
+			}
+			if _, seen := parent[s]; seen {
+				continue
+			}
+			parent[s] = b
+			if s == exit {
+				// Walk back to the last block with statements for the
+				// witness position.
+				for p := b; p != nil; p = parent[p] {
+					if n := len(p.Nodes); n > 0 {
+						return p.Nodes[n-1].Pos(), true
+					}
+				}
+				return goStmt.Pos(), true
+			}
+			queue = append(queue, s)
+		}
+	}
+	return token.NoPos, false
+}
+
+// localUnbufferedChans finds `ch := make(chan T)` declarations of
+// unbuffered channels in body (outside nested function literals).
+func localUnbufferedChans(info *types.Info, body *ast.BlockStmt) map[*types.Var]*chanState {
+	out := map[*types.Var]*chanState{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			call, ok := assign.Rhs[i].(*ast.CallExpr)
+			if !ok || !isMake(info, call) {
+				continue
+			}
+			if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			if len(call.Args) >= 2 && !isConstZero(info, call.Args[1]) {
+				continue // buffered: sends complete up to capacity
+			}
+			out[v] = &chanState{v: v, decl: id.Pos()}
+		}
+		return true
+	})
+	return out
+}
+
+func isMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	n, exact := constant.Int64Val(tv.Value)
+	return exact && n == 0
+}
+
+// walker classifies every use of the tracked channels. owner is the
+// directly go-spawned closure the code runs in (nil for the spawning
+// function); escaping marks contexts whose execution we cannot place
+// (non-spawned closures), where any use disqualifies the channel.
+type walker struct {
+	info     *types.Info
+	chans    map[*types.Var]*chanState
+	spawnOf  map[*ast.FuncLit]*ast.GoStmt
+	consumed map[*ast.Ident]bool
+}
+
+func (w *walker) chanOf(e ast.Expr) (*chanState, *ast.Ident) {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, _ := w.info.Uses[id].(*types.Var)
+	if v == nil {
+		return nil, nil
+	}
+	return w.chans[v], id
+}
+
+func (w *walker) record(e ast.Expr, kind int, owner *ast.FuncLit, nonblock, escaping bool) {
+	cs, id := w.chanOf(e)
+	if cs == nil {
+		return
+	}
+	w.consumed[id] = true
+	if escaping {
+		cs.escaped = true
+		return
+	}
+	cs.ops = append(cs.ops, op{pos: e.Pos(), kind: kind, owner: owner, nonblock: nonblock})
+}
+
+func (w *walker) walk(root ast.Node, owner *ast.FuncLit, nonblock, escaping bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == root {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				if !escaping {
+					w.spawnOf[lit] = n
+				}
+				for _, a := range n.Call.Args {
+					w.walk(a, owner, nonblock, escaping)
+				}
+				sub := lit
+				if escaping {
+					sub = owner // keep the escaping context
+				}
+				w.walk(lit.Body, sub, false, escaping)
+				return false
+			}
+			return true // go f(ch): args walked normally; ch arg escapes below
+		case *ast.FuncLit:
+			// Not directly spawned: could run anywhere, anytime (defer,
+			// stored callback). Its channel uses escape our model.
+			w.walk(n.Body, owner, false, true)
+			return false
+		case *ast.SelectStmt:
+			nComm := 0
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					nComm++
+				}
+			}
+			soft := hasDefault || nComm >= 2
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					w.walk(cc.Comm, owner, soft, escaping)
+				}
+				for _, s := range cc.Body {
+					w.walk(s, owner, nonblock, escaping)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			w.record(n.Chan, opSend, owner, nonblock, escaping)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.record(n.X, opRecv, owner, nonblock, escaping)
+			}
+			return true
+		case *ast.RangeStmt:
+			if cs, _ := w.chanOf(n.X); cs != nil {
+				w.record(n.X, opRange, owner, nonblock, escaping)
+			}
+			return true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "close":
+						if len(n.Args) == 1 {
+							w.record(n.Args[0], opClose, owner, nonblock, escaping)
+						}
+						return true
+					case "len", "cap":
+						if len(n.Args) == 1 {
+							if _, argID := w.chanOf(n.Args[0]); argID != nil {
+								w.consumed[argID] = true
+							}
+						}
+						return true
+					}
+				}
+			}
+			return true
+		case *ast.Ident:
+			// Any use not consumed by a recognized operation — call
+			// argument, assignment, return, composite literal — means
+			// the channel escapes our local model.
+			if w.consumed[n] {
+				return true
+			}
+			v, _ := w.info.Uses[n].(*types.Var)
+			if v == nil {
+				return true
+			}
+			if cs := w.chans[v]; cs != nil {
+				cs.escaped = true
+			}
+			return true
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package chanleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/conc/chanleak"
+)
+
+func TestChanleak(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", chanleak.Analyzer, "chanleak")
+}

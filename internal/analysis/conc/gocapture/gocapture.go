@@ -1,0 +1,196 @@
+// Package gocapture flags loop state captured by reference in a go
+// closure that outlives the iteration — the slice of this bug class
+// that Go 1.22's per-iteration loop variables did NOT fix. Since 1.22,
+// `for i := range xs { go func() { use(i) }() }` is safe: i is a fresh
+// variable each iteration. What still races is state the loop shares
+// across iterations:
+//
+//	var cur *row
+//	for i := range rows {
+//	    cur = &rows[i]            // one variable, rewritten per iteration
+//	    go func() { cur.flush() }()  // all goroutines see the last cur
+//	}
+//
+// and pre-1.22-style loops that assign (rather than declare) their
+// variable: `for i = 0; ...` or `for k, v = range m` — there the
+// variable is a single memory cell every closure shares.
+//
+// The analyzer flags a go closure inside a loop capturing a free
+// variable that is declared outside the loop statement and written by
+// the loop (header assignment, range with =, or a body write before the
+// spawn). Passing the value as a call argument instead is always safe —
+// arguments are evaluated at spawn time — as is joining the goroutine
+// within the same iteration (wg.Wait or channel receive after the go
+// statement inside the loop body).
+package gocapture
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/conc"
+)
+
+// Analyzer flags shared loop state captured by go closures.
+var Analyzer = &analysis.Analyzer{
+	Name: "gocapture",
+	Doc: "flag loop variables or per-iteration state captured by reference in go closures\n\n" +
+		"A variable declared outside a loop but written each iteration is one\n" +
+		"shared cell; a goroutine capturing it reads whatever iteration runs\n" +
+		"last. Pass the value as an argument to the spawned closure, or declare\n" +
+		"it inside the loop (Go 1.22 loop variables are per-iteration).",
+	Run: run,
+}
+
+var scope = []string{"core", "codec", "selector", "cart", "fascicle", "obs", "server", "spartand", "bench"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.PackageBase(scope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	for _, sp := range conc.Spawns(info, body, nil) {
+		if sp.Lit == nil || sp.Loop == nil {
+			continue
+		}
+		// A goroutine joined before the iteration ends cannot see the
+		// next iteration's writes.
+		if joinedSameIteration(info, sp) {
+			continue
+		}
+		for _, v := range sp.Captured {
+			if v.Pos() >= sp.Loop.Pos() && v.Pos() <= sp.Loop.End() {
+				continue // declared by the loop: per-iteration since Go 1.22
+			}
+			kind, writePos := loopWrite(info, sp.Loop, v)
+			if kind == "" {
+				continue
+			}
+			use := sp.FirstUse[v]
+			pass.Report(analysis.Diagnostic{
+				Pos: sp.Go.Pos(),
+				Message: fmt.Sprintf("go closure captures %s, which is %s — every goroutine shares one variable (Go 1.22 per-iteration semantics only cover variables declared by the loop); pass %s as an argument or declare it inside the loop",
+					v.Name(), kind, v.Name()),
+				Related: []analysis.RelatedLocation{
+					{Pos: sp.Loop.Pos(), Message: "loop whose iterations share the variable"},
+					{Pos: writePos, Message: fmt.Sprintf("%s %s here", v.Name(), writeVerb(kind))},
+					{Pos: use, Message: fmt.Sprintf("%s captured by the goroutine here", v.Name())},
+				},
+			})
+		}
+	}
+}
+
+// loopWrite classifies how the loop writes v: through its header
+// ("assigned by the loop header"), a range with = ("assigned by the
+// range clause"), or a body statement before the spawn ("reassigned
+// every iteration"). Empty when the loop never writes it — capturing a
+// loop-invariant outer variable is fine.
+func loopWrite(info *types.Info, loop ast.Stmt, v *types.Var) (kind string, pos token.Pos) {
+	isV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		u, _ := info.Uses[id].(*types.Var)
+		return u == v
+	}
+	switch loop := loop.(type) {
+	case *ast.ForStmt:
+		for _, s := range []ast.Stmt{loop.Init, loop.Post} {
+			for _, w := range conc.WriteTargets(info, s, nil) {
+				if isV(w.Expr) {
+					return "assigned by the loop header", w.Pos
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if loop.Tok == token.ASSIGN {
+			if isV(loop.Key) {
+				return "assigned by the range clause", loop.Key.Pos()
+			}
+			if loop.Value != nil && isV(loop.Value) {
+				return "assigned by the range clause", loop.Value.Pos()
+			}
+		}
+	}
+	var bodyPos token.Pos
+	var loopBody *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		loopBody = l.Body
+	case *ast.RangeStmt:
+		loopBody = l.Body
+	default:
+		return "", token.NoPos
+	}
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Writes inside closures (the spawned one included) are not
+			// the loop rebinding the variable; cross-goroutine writes
+			// are locksetrace's concern.
+			return false
+		}
+		if bodyPos != token.NoPos {
+			return false
+		}
+		for _, w := range conc.WriteTargets(info, n, nil) {
+			if isV(w.Expr) {
+				bodyPos = w.Pos
+				return false
+			}
+		}
+		return true
+	})
+	if bodyPos != token.NoPos {
+		return "reassigned every iteration", bodyPos
+	}
+	return "", token.NoPos
+}
+
+func writeVerb(kind string) string {
+	if kind == "reassigned every iteration" {
+		return "reassigned"
+	}
+	return "assigned"
+}
+
+// joinedSameIteration reports whether the loop body joins the goroutine
+// after spawning it, still inside the iteration: a Wait on a WaitGroup
+// the closure Dones, or a receive from a channel it serves.
+func joinedSameIteration(info *types.Info, sp conc.Spawn) bool {
+	var loopBody *ast.BlockStmt
+	switch l := sp.Loop.(type) {
+	case *ast.ForStmt:
+		loopBody = l.Body
+	case *ast.RangeStmt:
+		loopBody = l.Body
+	default:
+		return false
+	}
+	jk := conc.Joins(info, sp.Lit)
+	pos := conc.SyncAfter(info, loopBody, jk, sp.Go.Pos())
+	return pos != token.NoPos && pos <= loopBody.End()
+}

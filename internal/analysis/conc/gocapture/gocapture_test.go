@@ -1,0 +1,12 @@
+package gocapture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/conc/gocapture"
+)
+
+func TestGocapture(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", gocapture.Analyzer, "gocapture")
+}

@@ -1,0 +1,268 @@
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// LockSet is the abstract state of the lockset problem: the set of
+// mutexes (by rendered receiver key, see ExprString) that are provably
+// held. It is a must-analysis, so the lattice top — "every lock held" —
+// is the optimistic unvisited state and Join is set intersection:
+// a lock counts as held at a block only when it is held on every path
+// reaching it.
+type LockSet struct {
+	// Top marks the unvisited state, the identity for Join. A block
+	// still Top at the fixpoint is unreachable.
+	Top bool
+	// Held maps lock keys ("mu", "r.mu") to true. Never mutated in
+	// place; transfer functions copy on write.
+	Held map[string]bool
+}
+
+// Has reports whether the lock key is held. Top holds everything.
+func (s LockSet) Has(key string) bool { return s.Top || s.Held[key] }
+
+// Keys returns the held keys; nil for Top.
+func (s LockSet) Keys() map[string]bool { return s.Held }
+
+// Intersects reports whether two concrete locksets share a lock. A Top
+// set intersects anything non-empty and, vacuously, everything — Top
+// means "unreachable", and unreachable code cannot race.
+func (s LockSet) Intersects(o LockSet) bool {
+	if s.Top || o.Top {
+		return true
+	}
+	for k := range s.Held {
+		if o.Held[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Effect is one lock acquired or released by a call, as seen from the
+// caller: Key is rendered in the caller's namespace ("s.mu" for a call
+// s.lock() whose summary locks the receiver's mu field).
+type Effect struct {
+	Key     string
+	Acquire bool
+}
+
+// EffectFn resolves the net lock effects of a function call that is not
+// itself a direct mutex method call — typically by consulting the
+// callee's concurrency summary. It may be nil (calls are then assumed
+// lock-neutral, which matches the overwhelmingly common case of a
+// helper that locks and defers the unlock).
+type EffectFn func(call *ast.CallExpr) []Effect
+
+// LocksetProblem is the forward must-lockset dataflow.Problem instance.
+// Deferred unlocks do not appear in the in-body state — they run at
+// function exit — which is exactly what a race check wants: the lock is
+// held from the Lock call to the end of the function.
+type LocksetProblem struct {
+	Info   *types.Info
+	Effect EffectFn
+}
+
+// Direction implements dataflow.Problem.
+func (p *LocksetProblem) Direction() dataflow.Direction { return dataflow.Forward }
+
+// Boundary implements dataflow.Problem: no locks are held at entry.
+func (p *LocksetProblem) Boundary() LockSet { return LockSet{Held: map[string]bool{}} }
+
+// Init implements dataflow.Problem: the must-lattice top.
+func (p *LocksetProblem) Init() LockSet { return LockSet{Top: true} }
+
+// Join implements dataflow.Problem: intersection, with Top as identity.
+func (p *LocksetProblem) Join(a, b LockSet) LockSet {
+	if a.Top {
+		return b
+	}
+	if b.Top {
+		return a
+	}
+	out := map[string]bool{}
+	for k := range a.Held {
+		if b.Held[k] {
+			out[k] = true
+		}
+	}
+	return LockSet{Held: out}
+}
+
+// Equal implements dataflow.Problem.
+func (p *LocksetProblem) Equal(a, b LockSet) bool {
+	if a.Top != b.Top {
+		return false
+	}
+	if len(a.Held) != len(b.Held) {
+		return false
+	}
+	for k := range a.Held {
+		if !b.Held[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements dataflow.Problem: apply every acquire/release in
+// the block's nodes, in order.
+func (p *LocksetProblem) Transfer(b *cfg.Block, in LockSet) LockSet {
+	out := in
+	for _, n := range b.Nodes {
+		out = p.applyNode(out, n)
+	}
+	return out
+}
+
+// applyNode pushes the lockset through one block node. Function
+// literals are opaque (their bodies run elsewhere, on their own
+// lockset), deferred calls run at exit, and a go statement's call runs
+// on another goroutine — all three subtrees are skipped.
+func (p *LocksetProblem) applyNode(set LockSet, n ast.Node) LockSet {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			set = p.applyCall(set, m)
+		}
+		return true
+	})
+	return set
+}
+
+// applyCall applies one call's lock effects to the set.
+func (p *LocksetProblem) applyCall(set LockSet, call *ast.CallExpr) LockSet {
+	if recv, method := MutexCall(p.Info, call); recv != "" {
+		if _, isAcquire := ReleaseFor[method]; isAcquire {
+			return set.with(recv)
+		}
+		if _, isRelease := AcquireFor[method]; isRelease {
+			return set.without(recv)
+		}
+		return set
+	}
+	if p.Effect == nil {
+		return set
+	}
+	for _, e := range p.Effect(call) {
+		if e.Acquire {
+			set = set.with(e.Key)
+		} else {
+			set = set.without(e.Key)
+		}
+	}
+	return set
+}
+
+// with returns a copy of the set with key held. Top stays Top.
+func (s LockSet) with(key string) LockSet {
+	if s.Top || s.Held[key] {
+		return s
+	}
+	out := make(map[string]bool, len(s.Held)+1)
+	for k := range s.Held {
+		out[k] = true
+	}
+	out[key] = true
+	return LockSet{Held: out}
+}
+
+// without returns a copy of the set with key released. Top stays Top.
+func (s LockSet) without(key string) LockSet {
+	if s.Top || !s.Held[key] {
+		return s
+	}
+	out := make(map[string]bool, len(s.Held))
+	for k := range s.Held {
+		if k != key {
+			out[k] = true
+		}
+	}
+	return LockSet{Held: out}
+}
+
+// Locksets solves the must-lockset problem over one function body.
+type Locksets struct {
+	G   *cfg.CFG
+	P   *LocksetProblem
+	Res dataflow.Result[LockSet]
+}
+
+// SolveLocksets builds the CFG of body and runs the lockset problem to
+// its fixpoint.
+func SolveLocksets(body *ast.BlockStmt, info *types.Info, effect EffectFn) *Locksets {
+	p := &LocksetProblem{Info: info, Effect: effect}
+	g := cfg.New(body)
+	return &Locksets{G: g, P: p, Res: dataflow.Solve[LockSet](g, p)}
+}
+
+// At returns the must-held lockset just before the node at pos, by
+// replaying the containing block's nodes from its entry state. ok is
+// false when the position cannot be located or lies in unreachable
+// code — callers should then treat the site as guarded rather than
+// report through a state the analysis cannot see.
+func (l *Locksets) At(pos token.Pos) (LockSet, bool) {
+	b := l.G.BlockOf(pos)
+	if b == nil {
+		return LockSet{}, false
+	}
+	set := l.Res.In[b]
+	for _, n := range b.Nodes {
+		if n.End() >= pos {
+			break
+		}
+		set = l.P.applyNode(set, n)
+	}
+	if set.Top {
+		return LockSet{}, false
+	}
+	return set, true
+}
+
+// AtExit returns the lockset on the function's normal exit — the net
+// locks still held when the body returns, before deferred releases run.
+// Deferred mutex releases recorded in the CFG's defer list are applied,
+// so a `mu.Lock(); defer mu.Unlock()` pair nets to zero.
+func (l *Locksets) AtExit() (LockSet, bool) {
+	if len(l.G.Blocks) < 2 {
+		return LockSet{}, false
+	}
+	set := l.Res.In[l.G.Blocks[1]]
+	if set.Top {
+		return LockSet{}, false
+	}
+	for _, d := range l.G.Defers {
+		set = applyDeferredRelease(l.P.Info, set, d)
+	}
+	return set, true
+}
+
+// applyDeferredRelease removes locks released by a deferred call —
+// directly (`defer mu.Unlock()`) or inside a deferred closure.
+func applyDeferredRelease(info *types.Info, set LockSet, d *ast.DeferStmt) LockSet {
+	apply := func(call *ast.CallExpr) {
+		if recv, method := MutexCall(info, call); recv != "" {
+			if _, isRelease := AcquireFor[method]; isRelease {
+				set = set.without(recv)
+			}
+		}
+	}
+	apply(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				apply(c)
+			}
+			return true
+		})
+	}
+	return set
+}

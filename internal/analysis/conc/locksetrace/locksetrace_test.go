@@ -1,0 +1,12 @@
+package locksetrace_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/conc/locksetrace"
+)
+
+func TestLocksetrace(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", locksetrace.Analyzer, "locksetrace")
+}

@@ -1,0 +1,147 @@
+package locksetrace_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/conc/locksetrace"
+)
+
+// TestSeedMutation is the analyzer's self-test against the invariant it
+// exists to protect: testdata/seedmutation/outlierscan.go is a faithful
+// stdlib-only mirror of the real outlier scan in internal/core —
+// GOMAXPROCS-bounded loop-spawned goroutines, sharded model slots, and
+// a mutex-guarded shared total. The guarded form must analyze clean,
+// and mechanically deleting the mu.Lock() call must reproduce the
+// locksetrace finding with its spawn→write→conflict path attached.
+func TestSeedMutation(t *testing.T) {
+	const fixture = "testdata/seedmutation/outlierscan.go"
+
+	if diags := analyze(t, fixture, nil); len(diags) != 0 {
+		t.Fatalf("guarded outlier scan should be clean, got %d findings: %v", len(diags), messages(diags))
+	}
+
+	var deleted int
+	diags := analyze(t, fixture, func(f *ast.File) {
+		deleted = deleteLockCalls(f)
+	})
+	if deleted != 1 {
+		t.Fatalf("expected to delete exactly 1 mu.Lock() call, deleted %d", deleted)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("deleting mu.Lock() should reproduce a locksetrace finding, got none")
+	}
+	var raced *analysis.Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "total is written in a spawned goroutine") {
+			raced = &diags[i]
+		}
+	}
+	if raced == nil {
+		t.Fatalf("expected the unguarded write to total to be flagged, got: %v", messages(diags))
+	}
+	if len(raced.Related) < 3 {
+		t.Fatalf("finding should carry a spawn→write→conflict path, got %d related locations", len(raced.Related))
+	}
+	if !strings.Contains(raced.Related[0].Message, "once per loop iteration") {
+		t.Errorf("path should start at the loop spawn site, starts with %q", raced.Related[0].Message)
+	}
+	if !strings.Contains(raced.Related[1].Message, "holding no locks") {
+		t.Errorf("path should show the lockset at the write, got %q", raced.Related[1].Message)
+	}
+	last := raced.Related[len(raced.Related)-1]
+	if !strings.Contains(last.Message, "conflicting access") {
+		t.Errorf("path should end at the conflicting access, ends with %q", last.Message)
+	}
+}
+
+// analyze parses and type-checks the fixture, applies mutate (if any),
+// and returns locksetrace's diagnostics.
+func analyze(t *testing.T, path string, mutate func(*ast.File)) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	files := []*ast.File{f}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("core", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(locksetrace.Analyzer, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := locksetrace.Analyzer.Run(pass); err != nil {
+		t.Fatalf("running locksetrace: %v", err)
+	}
+	return diags
+}
+
+// deleteLockCalls removes every `mu.Lock()` expression statement,
+// leaving the unlock behind — exactly the asymmetric deletion a botched
+// refactor produces — and reports how many it removed.
+func deleteLockCalls(f *ast.File) int {
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		blk, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		kept := blk.List[:0]
+		for _, st := range blk.List {
+			if isMuLock(st) {
+				n++
+				continue
+			}
+			kept = append(kept, st)
+		}
+		blk.List = kept
+		return true
+	})
+	return n
+}
+
+func isMuLock(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Lock" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "mu"
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

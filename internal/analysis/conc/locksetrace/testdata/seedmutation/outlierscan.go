@@ -1,0 +1,52 @@
+// Package core is a faithful stdlib-only mirror of CompressContext's
+// outlier-scan phase (internal/core): one goroutine per predicted
+// attribute bounded by a GOMAXPROCS semaphore, per-goroutine slots for
+// the models, and a mutex-guarded running outlier total. The
+// locksetrace seed-mutation self-test analyzes it as written (clean),
+// then deletes the mu.Lock() call — the mutation a careless refactor
+// would make — and asserts the analyzer reproduces the race with its
+// full spawn→write→conflict path.
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+type model struct {
+	outliers []int
+}
+
+func (m *model) scan(rows []float64, budget float64) []int {
+	var out []int
+	for i, v := range rows {
+		if v > budget || v < -budget {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func scanOutliers(cols [][]float64, budgets []float64) (int, []*model) {
+	models := make([]*model, len(cols))
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, rows := range cols {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, rows []float64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m := &model{}
+			m.outliers = m.scan(rows, budgets[i])
+			models[i] = m
+			mu.Lock()
+			total += len(m.outliers)
+			mu.Unlock()
+		}(i, rows)
+	}
+	wg.Wait()
+	return total, models
+}

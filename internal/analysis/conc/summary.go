@@ -1,0 +1,480 @@
+package conc
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/summary"
+)
+
+// FactName is the analyzer name concurrency summaries are stored under
+// in a FactStore; the four conc analyzers read the fact directly, the
+// same way taintalloc reads "funcsummary".
+const FactName = "concsummary"
+
+// LockEffect is one net lock operation a function performs on a mutex
+// reachable from a parameter: `func (s *store) lock() { s.mu.Lock() }`
+// summarizes as {Param: 0, Path: "mu", Op: "lock"}. Param counts the
+// receiver first, like funcsummary's indices.
+type LockEffect struct {
+	Param int    `json:"param"`
+	Path  string `json:"path,omitempty"` // field path to the mutex; "" when the param is the mutex
+	Op    string `json:"op"`             // "lock", "rlock", "unlock", "runlock"
+}
+
+// ParamWrite marks a parameter (receiver first) that the function
+// writes through — *p, p.f, p[i] on a pointer/slice/map parameter —
+// with no lock held at the write. Callers running the callee on a
+// goroutine must either hold a common lock around the call or own the
+// argument exclusively.
+type ParamWrite struct {
+	Param int              `json:"param"`
+	Pos   summary.Position `json:"pos"`
+}
+
+// FuncConc is the serialized concurrency summary of one function, keyed
+// in a package fact by types.Func.FullName.
+type FuncConc struct {
+	// Spawns reports that the function starts goroutines, directly or
+	// through a callee.
+	Spawns bool `json:"spawns,omitempty"`
+	// SpawnSites locates the direct go statements (for diagnostics'
+	// related-location paths).
+	SpawnSites []summary.Position `json:"spawnSites,omitempty"`
+	// AsyncSpawn reports that a spawned goroutine can outlive the call:
+	// there is a spawn with no sync.WaitGroup.Wait joining it before
+	// return, or a callee spawns goroutines this function cannot join.
+	// Calling an async spawner once per row is itself an unbounded
+	// spawn, which is why boundedspawn needs the distinction.
+	AsyncSpawn bool `json:"asyncSpawn,omitempty"`
+	// Via names the callee the spawn was inherited from, when the
+	// function spawns only through another function.
+	Via string `json:"via,omitempty"`
+	// NetLocks lists lock operations on parameters that do not balance
+	// out inside the function (lock helpers, unlock helpers).
+	NetLocks []LockEffect `json:"netLocks,omitempty"`
+	// UnguardedWrites lists parameters written without any lock held.
+	UnguardedWrites []ParamWrite `json:"unguardedWrites,omitempty"`
+}
+
+func (s *FuncConc) empty() bool {
+	return !s.Spawns && !s.AsyncSpawn && len(s.NetLocks) == 0 && len(s.UnguardedWrites) == 0
+}
+
+func (s *FuncConc) equal(o *FuncConc) bool {
+	a, _ := json.Marshal(s)
+	b, _ := json.Marshal(o)
+	return string(a) == string(b)
+}
+
+// Lookup resolves the concurrency summary of a callee, or nil.
+type Lookup func(fn *types.Func) *FuncConc
+
+// Result is one package's computed concurrency summaries.
+type Result struct {
+	// ByFunc holds the summary of every function declared in the
+	// package (empty summaries included).
+	ByFunc map[*types.Func]*FuncConc
+}
+
+// LookupIn chains the package-local summaries with an imported-fact
+// lookup, the resolution order every analyzer wants.
+func (r *Result) LookupIn(imported Lookup) Lookup {
+	return func(fn *types.Func) *FuncConc {
+		if s, ok := r.ByFunc[fn]; ok {
+			return s
+		}
+		if imported != nil {
+			return imported(fn)
+		}
+		return nil
+	}
+}
+
+// Compute builds the package call graph, orders it bottom-up by SCC,
+// and summarizes every function body. imported resolves cross-package
+// callees (nil is fine: unknown callees are treated as lock-neutral
+// non-spawners).
+func Compute(fset *token.FileSet, files []*ast.File, info *types.Info, imported Lookup) *Result {
+	g := callgraph.Build(files, info)
+	res := &Result{ByFunc: map[*types.Func]*FuncConc{}}
+	lookup := res.LookupIn(imported)
+	for _, scc := range g.SCCs() {
+		// Summaries only grow (a spawn discovered through a mutually
+		// recursive callee adds a bit, never removes one), so a short
+		// fixpoint converges; four rounds bound pathological growth the
+		// same way funcsummary's do.
+		for round := 0; ; round++ {
+			changed := false
+			for _, n := range scc {
+				sum := computeFunc(fset, info, n.Decl, lookup)
+				if old := res.ByFunc[n.Func]; old == nil || !old.equal(sum) {
+					changed = true
+				}
+				res.ByFunc[n.Func] = sum
+			}
+			if !changed || round >= 3 {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// computeFunc summarizes one function declaration.
+func computeFunc(fset *token.FileSet, info *types.Info, decl *ast.FuncDecl, lookup Lookup) *FuncConc {
+	sum := &FuncConc{}
+	if decl.Body == nil {
+		return sum
+	}
+	params := paramVars(decl, info)
+
+	// Spawn shape: direct go statements and async callees, outside
+	// nested function literals (a closure's spawns belong to whoever
+	// runs the closure).
+	var lastWait token.Pos
+	var spawnEnds []token.Pos
+	walkOutsideFuncLits(decl.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			sum.Spawns = true
+			sum.SpawnSites = append(sum.SpawnSites, position(fset, n.Pos()))
+			spawnEnds = append(spawnEnds, n.Pos())
+		case *ast.CallExpr:
+			if _, method := WaitGroupCall(info, n); method == "Wait" {
+				if n.Pos() > lastWait {
+					lastWait = n.Pos()
+				}
+				return
+			}
+			callee, dynamic, isCall := callgraph.StaticCallee(info, n)
+			if !isCall || dynamic || callee == nil {
+				return
+			}
+			if cs := lookup(callee); cs != nil && cs.Spawns {
+				sum.Spawns = true
+				if sum.Via == "" && len(sum.SpawnSites) == 0 {
+					sum.Via = callee.Name()
+				}
+				if cs.AsyncSpawn {
+					// The callee's goroutines outlive its return and
+					// this function has no handle to join them.
+					sum.AsyncSpawn = true
+				}
+			}
+		}
+	})
+	for _, p := range spawnEnds {
+		if lastWait < p {
+			sum.AsyncSpawn = true
+		}
+	}
+
+	// Net lock effects on parameters, and unguarded parameter writes,
+	// both read off the solved lockset.
+	ls := SolveLocksets(decl.Body, info, EffectFromLookup(info, lookup))
+	acquireOp := map[string]string{} // lock key -> "lock" | "rlock"
+	releaseSeen := map[string]string{}
+	walkOutsideFuncLits(decl.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, method := MutexCall(info, call)
+		if recv == "" {
+			return
+		}
+		switch method {
+		case "Lock":
+			acquireOp[recv] = "lock"
+		case "RLock":
+			acquireOp[recv] = "rlock"
+		case "Unlock":
+			releaseSeen[recv] = "unlock"
+		case "RUnlock":
+			releaseSeen[recv] = "runlock"
+		}
+	})
+	if exit, ok := ls.AtExit(); ok {
+		for key := range exit.Keys() {
+			if pi, path, ok := paramRelative(key, params); ok {
+				op := acquireOp[key]
+				if op == "" {
+					op = "lock"
+				}
+				sum.NetLocks = append(sum.NetLocks, LockEffect{Param: pi, Path: path, Op: op})
+			}
+		}
+	}
+	for key, op := range releaseSeen {
+		if acquireOp[key] != "" {
+			continue // balanced inside the function
+		}
+		if pi, path, ok := paramRelative(key, params); ok {
+			sum.NetLocks = append(sum.NetLocks, LockEffect{Param: pi, Path: path, Op: op})
+		}
+	}
+	sortLockEffects(sum.NetLocks)
+
+	walkOutsideFuncLits(decl.Body, func(n ast.Node) {
+		for _, w := range WriteTargets(info, n, nil) {
+			root := RootVar(info, w.Expr)
+			if root == nil {
+				continue
+			}
+			pi := paramIndex(root, params)
+			if pi < 0 || !writableThrough(root.Type()) {
+				continue
+			}
+			if _, isIdent := w.Expr.(*ast.Ident); isIdent {
+				continue // assigning the parameter variable itself is local
+			}
+			set, ok := ls.At(w.Pos)
+			if !ok || len(set.Keys()) > 0 {
+				continue
+			}
+			sum.UnguardedWrites = append(sum.UnguardedWrites, ParamWrite{Param: pi, Pos: position(fset, w.Pos)})
+		}
+	})
+	return sum
+}
+
+// EffectFromLookup adapts summary lookups into the lockset problem's
+// call-effect resolver: a call to a summarized lock/unlock helper
+// acquires or releases the corresponding caller-side key.
+func EffectFromLookup(info *types.Info, lookup Lookup) EffectFn {
+	if lookup == nil {
+		return nil
+	}
+	return func(call *ast.CallExpr) []Effect {
+		callee, dynamic, isCall := callgraph.StaticCallee(info, call)
+		if !isCall || dynamic || callee == nil {
+			return nil
+		}
+		cs := lookup(callee)
+		if cs == nil || len(cs.NetLocks) == 0 {
+			return nil
+		}
+		var out []Effect
+		for _, e := range cs.NetLocks {
+			arg := argExpr(call, callee, e.Param)
+			if arg == nil {
+				continue
+			}
+			key := ExprString(arg)
+			if e.Path != "" {
+				key += "." + e.Path
+			}
+			out = append(out, Effect{Key: key, Acquire: e.Op == "lock" || e.Op == "rlock"})
+		}
+		return out
+	}
+}
+
+// argExpr maps a receiver-first parameter index to the call-site
+// expression bound to it.
+func argExpr(call *ast.CallExpr, callee *types.Func, param int) ast.Expr {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if param == 0 {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		param--
+	}
+	if param < 0 || param >= len(call.Args) {
+		return nil
+	}
+	return call.Args[param]
+}
+
+// paramRelative splits a lock key rooted at a parameter name into
+// (param index, remaining field path). "s.mu" with receiver s yields
+// (0, "mu").
+func paramRelative(key string, params []*types.Var) (int, string, bool) {
+	root, path, _ := strings.Cut(key, ".")
+	for i, p := range params {
+		if p != nil && p.Name() == root {
+			return i, path, true
+		}
+	}
+	return -1, "", false
+}
+
+func paramIndex(v *types.Var, params []*types.Var) int {
+	for i, p := range params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// writableThrough reports whether writing through a variable of this
+// type is visible outside the function (pointer, slice, map).
+func writableThrough(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// paramVars lists the parameter objects of a declaration: receiver
+// first, then parameters, matching funcsummary's index convention.
+func paramVars(decl *ast.FuncDecl, info *types.Info) []*types.Var {
+	var out []*types.Var
+	addField := func(f *ast.Field) {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			return
+		}
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			v, _ := info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			addField(f)
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			addField(f)
+		}
+	}
+	return out
+}
+
+// walkOutsideFuncLits visits every node of body that executes on the
+// function's own goroutine and defer-free path: nested function
+// literals and deferred calls are skipped.
+func walkOutsideFuncLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func position(fset *token.FileSet, pos token.Pos) summary.Position {
+	p := fset.Position(pos)
+	return summary.Position{File: p.Filename, Line: p.Line, Col: p.Column}
+}
+
+func sortLockEffects(effects []LockEffect) {
+	for i := 1; i < len(effects); i++ {
+		for j := i; j > 0; j-- {
+			a, b := effects[j-1], effects[j]
+			if a.Param < b.Param || (a.Param == b.Param && a.Path <= b.Path) {
+				break
+			}
+			effects[j-1], effects[j] = b, a
+		}
+	}
+}
+
+// Encode serializes the non-empty summaries as the package fact body.
+func (r *Result) Encode() ([]byte, error) {
+	byName := map[string]*FuncConc{}
+	for fn, s := range r.ByFunc {
+		if !s.empty() {
+			byName[fn.FullName()] = s
+		}
+	}
+	if len(byName) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(byName)
+}
+
+// DecodeFact parses a fact blob produced by Encode.
+func DecodeFact(data []byte) (map[string]*FuncConc, error) {
+	byName := map[string]*FuncConc{}
+	if len(data) == 0 {
+		return byName, nil
+	}
+	if err := json.Unmarshal(data, &byName); err != nil {
+		return nil, err
+	}
+	return byName, nil
+}
+
+// ModuleScoped restricts a lookup to functions whose package shares the
+// module root of pkgPath. Concurrency summaries of other modules — the
+// standard library above all — describe goroutines those libraries
+// manage themselves: http's per-connection goroutines, pprof's profile
+// writer, testing's tRunner. Propagating them makes every transitive
+// caller a "spawner" (fmt.Errorf reaches one eventually) and drowns the
+// repo's own signal, so the analyzers inherit summaries only within the
+// module under analysis.
+func ModuleScoped(pkgPath string, l Lookup) Lookup {
+	root := moduleRoot(pkgPath)
+	return func(fn *types.Func) *FuncConc {
+		if fn == nil || fn.Pkg() == nil || moduleRoot(fn.Pkg().Path()) != root {
+			return nil
+		}
+		return l(fn)
+	}
+}
+
+// moduleRoot is the leading element of an import path: "repro" for
+// "repro/internal/core", "testing" for "testing".
+func moduleRoot(path string) string {
+	root, _, _ := strings.Cut(path, "/")
+	return root
+}
+
+// FactLookup adapts a driver FactStore into a cross-package Lookup,
+// caching each dependency's decoded fact. Safe with a nil store.
+func FactLookup(store *analysis.FactStore) Lookup {
+	cache := map[string]map[string]*FuncConc{}
+	return func(fn *types.Func) *FuncConc {
+		if fn == nil || fn.Pkg() == nil {
+			return nil
+		}
+		path := fn.Pkg().Path()
+		pkg, ok := cache[path]
+		if !ok {
+			pkg, _ = DecodeFact(store.Get(path, FactName))
+			cache[path] = pkg
+		}
+		return pkg[fn.FullName()]
+	}
+}
+
+// Analyzer is the fact producer: it emits no diagnostics, only the
+// "concsummary" package fact the four concurrency analyzers consume for
+// cross-package calls. Drivers run it over dependencies because Facts
+// is set.
+var Analyzer = &analysis.Analyzer{
+	Name:  FactName,
+	Doc:   "concsummary: compute per-function concurrency summaries (net lock effects on parameters, goroutine spawns and whether they outlive the call, parameters written without a lock) bottom-up over call-graph SCCs and export them as a package fact for the concurrency analyzers",
+	Facts: true,
+	Run: func(pass *analysis.Pass) error {
+		res := Compute(pass.Fset, pass.Files, pass.TypesInfo, ModuleScoped(pass.Pkg.Path(), FactLookup(pass.Facts)))
+		blob, err := res.Encode()
+		if err != nil {
+			return err
+		}
+		pass.ExportFact(blob)
+		return nil
+	},
+}

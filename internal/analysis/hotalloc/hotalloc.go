@@ -5,10 +5,11 @@
 // a hint-less map rehashes as it grows, and a make inside the loop
 // body allocates fresh garbage every iteration.
 //
-// A loop counts as row-bounded when its trip count depends on data: any
-// range loop, a for loop whose condition involves a non-constant bound,
-// or an unconditional for {}. Loops with small constant bounds
-// (`for i := 0; i < 8; i++`) are exempt.
+// A loop counts as row-bounded when its trip count depends on data
+// (the classification lives in internal/analysis/loopbound, shared with
+// boundedspawn): any range loop, a for loop whose condition involves a
+// non-constant bound, or an unconditional for {}. Loops with small
+// constant bounds (`for i := 0; i < 8; i++`) are exempt.
 //
 // The growth checks are flow-sensitive: the container's creation is
 // resolved through reaching definitions, so re-making a slice with
@@ -25,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/cfg"
 	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/loopbound"
 )
 
 // Analyzer flags hint-less allocations in row-bounded loops.
@@ -92,14 +94,14 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		case *ast.FuncLit:
 			return false
 		case *ast.ForStmt:
-			if rowBoundedFor(pass, n) {
+			if loopbound.RowBoundedFor(pass.TypesInfo, n) {
 				loops = append(loops, n)
 				ast.Inspect(n.Body, walk)
 				loops = loops[:len(loops)-1]
 				return false
 			}
 		case *ast.RangeStmt:
-			if rowBoundedRange(pass, n) {
+			if loopbound.RowBoundedRange(pass.TypesInfo, n) {
 				loops = append(loops, n)
 				ast.Inspect(n.Body, walk)
 				loops = loops[:len(loops)-1]
@@ -286,92 +288,6 @@ func makeLacksHint(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-// rowBoundedFor reports whether a for loop's trip count depends on
-// data: no condition at all, a comparison whose bound side is
-// non-constant, or a countdown from a non-constant start
-// (`for i := n; i > 0; i--` — the condition's bound is the constant 0
-// but the trip count is still n).
-func rowBoundedFor(pass *analysis.Pass, loop *ast.ForStmt) bool {
-	if loop.Cond == nil {
-		return true // for {} — bounded only by a break
-	}
-	cmp, ok := loop.Cond.(*ast.BinaryExpr)
-	if !ok {
-		return true // unusual condition: assume data-dependent
-	}
-	iv := inductionVar(pass, loop)
-	var bound ast.Expr
-	switch {
-	case iv != nil && sameVar(pass, cmp.X, iv):
-		bound = cmp.Y
-	case iv != nil && sameVar(pass, cmp.Y, iv):
-		bound = cmp.X
-	default:
-		// No recognizable induction variable in the comparison: the
-		// loop is constant-bounded only when both operands are.
-		return !isConstant(pass, cmp.X) || !isConstant(pass, cmp.Y)
-	}
-	if !isConstant(pass, bound) {
-		return true
-	}
-	// Constant bound on the induction variable; the trip count is
-	// constant only if the start value is too.
-	return !constantStart(pass, loop.Init, iv)
-}
-
-// inductionVar returns the variable stepped by the loop's post
-// statement (i++, i--, i += k, i = i + k), or nil.
-func inductionVar(pass *analysis.Pass, loop *ast.ForStmt) *types.Var {
-	switch post := loop.Post.(type) {
-	case *ast.IncDecStmt:
-		if id, ok := post.X.(*ast.Ident); ok {
-			return varOf(pass, id)
-		}
-	case *ast.AssignStmt:
-		if len(post.Lhs) == 1 {
-			if id, ok := post.Lhs[0].(*ast.Ident); ok {
-				return varOf(pass, id)
-			}
-		}
-	}
-	return nil
-}
-
-// constantStart reports whether the loop init assigns the induction
-// variable a compile-time constant value. A nil or unrecognized init
-// (variable initialized elsewhere) counts as non-constant.
-func constantStart(pass *analysis.Pass, init ast.Stmt, iv *types.Var) bool {
-	assign, ok := init.(*ast.AssignStmt)
-	if !ok || len(assign.Lhs) != len(assign.Rhs) {
-		return false
-	}
-	for i, lhs := range assign.Lhs {
-		if sameVar(pass, lhs, iv) {
-			return isConstant(pass, assign.Rhs[i])
-		}
-	}
-	return false
-}
-
-// sameVar reports whether e is an identifier resolving to v.
-func sameVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && varOf(pass, id) == v
-}
-
-// rowBoundedRange reports whether a range loop iterates over data
-// rather than a constant count (go 1.22 range-over-int).
-func rowBoundedRange(pass *analysis.Pass, loop *ast.RangeStmt) bool {
-	return !isConstant(pass, loop.X)
-}
-
-// isConstant reports whether the expression has a compile-time constant
-// value.
-func isConstant(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.Value != nil
-}
-
 // isZeroLiteral reports whether e is the constant 0.
 func isZeroLiteral(pass *analysis.Pass, e ast.Expr) bool {
 	tv, ok := pass.TypesInfo.Types[e]
@@ -383,19 +299,10 @@ func isZeroLiteral(pass *analysis.Pass, e ast.Expr) bool {
 
 // isBuiltin reports whether fun denotes the named builtin.
 func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
-	id, ok := fun.(*ast.Ident)
-	if !ok || id.Name != name {
-		return false
-	}
-	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
-	return ok
+	return loopbound.IsBuiltin(pass.TypesInfo, fun, name)
 }
 
 // varOf resolves an identifier to its variable object.
 func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
-	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
-	if v == nil {
-		v, _ = pass.TypesInfo.Defs[id].(*types.Var)
-	}
-	return v
+	return loopbound.VarOf(pass.TypesInfo, id)
 }

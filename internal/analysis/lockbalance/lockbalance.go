@@ -79,7 +79,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		ast.Inspect(body, func(m ast.Node) bool {
 			switch mm := m.(type) {
 			case *ast.DeferStmt:
-				if mm.Pos() > call.Pos() && deferReleases(pass, mm.Call, want) {
+				if mm.Pos() > call.Pos() && deferReleases(pass, body, mm.Call, want) {
 					deferredAfter = true
 				}
 			case *ast.CallExpr:
@@ -132,9 +132,12 @@ func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (recv, method string) {
 	return exprString(sel.X), sel.Sel.Name
 }
 
-// deferReleases reports whether the deferred call releases want — either
-// directly (`defer mu.Unlock()`) or inside an immediately-run closure.
-func deferReleases(pass *analysis.Pass, call *ast.CallExpr, want string) bool {
+// deferReleases reports whether the deferred call releases want —
+// directly (`defer mu.Unlock()`), inside an immediately-run closure
+// (`defer func() { mu.Unlock() }()`), or through a helper closure bound
+// to a local variable in this body (`cleanup := func() { mu.Unlock() };
+// defer cleanup()`).
+func deferReleases(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, want string) bool {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if exprString(sel.X)+"."+sel.Sel.Name == want {
 			return true
@@ -142,7 +145,12 @@ func deferReleases(pass *analysis.Pass, call *ast.CallExpr, want string) bool {
 	}
 	lit, ok := call.Fun.(*ast.FuncLit)
 	if !ok {
-		return false
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			lit = closureFor(pass, body, id)
+		}
+		if lit == nil {
+			return false
+		}
 	}
 	found := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -154,6 +162,41 @@ func deferReleases(pass *analysis.Pass, call *ast.CallExpr, want string) bool {
 		return !found
 	})
 	return found
+}
+
+// closureFor resolves a deferred identifier to the function literal a
+// statement of this body binds it to, or nil: reassigned helpers and
+// closures from elsewhere stay unresolved (and so never count as the
+// required release).
+func closureFor(pass *analysis.Pass, body *ast.BlockStmt, id *ast.Ident) *ast.FuncLit {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	bindings := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[lid] != obj && pass.TypesInfo.Uses[lid] != obj {
+				continue
+			}
+			bindings++
+			lit, _ = assign.Rhs[i].(*ast.FuncLit)
+		}
+		return true
+	})
+	if bindings != 1 {
+		return nil // unbound here, or rebound: too ambiguous to trust
+	}
+	return lit
 }
 
 func exprString(e ast.Expr) string {

@@ -1,0 +1,124 @@
+// Fixture for the boundedspawn analyzer: package base name "codec" puts
+// it in scope, mirroring repro/internal/codec's parallel reconstruct.
+package codec
+
+import (
+	"runtime"
+	"sync"
+)
+
+type model struct{ id int }
+
+func (m model) run() {}
+
+// One goroutine per row with nothing gating creation: a WaitGroup
+// counts them, it does not bound them.
+func badPerRowSpawn(models []model) {
+	var wg sync.WaitGroup
+	for _, m := range models {
+		wg.Add(1)
+		go func(m model) { // want `no concurrency bound`
+			defer wg.Done()
+			m.run()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// The engine's idiom: acquire a GOMAXPROCS-sized semaphore before the
+// spawn so at most that many goroutines exist.
+func goodSemaphore(models []model) {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, m := range models {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m model) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.run()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Acquiring the semaphore inside the closure bounds the work, not the
+// goroutines: all of them are created first and park on the send.
+func badSemInsideGoroutine(models []model) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, m := range models {
+		wg.Add(1)
+		go func(m model) { // want `no concurrency bound`
+			sem <- struct{}{}
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.run()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// A worker pool sized to the machine is the other sanctioned shape: the
+// spawn loop's bound is the worker count, not the input.
+func goodWorkerPool(models []model) {
+	jobs := make(chan model)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range jobs {
+				m.run()
+			}
+		}()
+	}
+	for _, m := range models {
+		jobs <- m
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// A constant-trip loop spawns a fixed number of goroutines.
+func goodConstantLoop(jobs chan model) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for m := range jobs {
+				m.run()
+			}
+		}()
+	}
+}
+
+func fireAndForget(m model) {
+	go m.run()
+}
+
+// The helper's goroutine outlives the call, so calling it per row is an
+// unbounded spawn even with no go statement in sight; the concsummary
+// fact carries the spawn site into the report.
+func badHelperSpawn(models []model) {
+	for _, m := range models {
+		fireAndForget(m) // want `starts a goroutine that outlives it`
+	}
+}
+
+func runOneJoined(m model) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.run()
+	}()
+	wg.Wait()
+}
+
+// A helper that joins its goroutine before returning contributes no
+// concurrency to the calling loop.
+func goodJoinedHelper(models []model) {
+	for _, m := range models {
+		runOneJoined(m)
+	}
+}

@@ -1,0 +1,102 @@
+// Fixture for the chanleak analyzer: package base name "server" puts it
+// in scope — request handlers are where leaked goroutines compound.
+package server
+
+// The classic leak: an early return between the spawn and the receive
+// parks the sender forever.
+func badEarlyReturn(check func() error, slow func() int) (int, error) {
+	ch := make(chan int)
+	go func() {
+		ch <- slow() // want `goroutine can block forever sending on ch`
+	}()
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return <-ch, nil
+}
+
+// Receiving on every path keeps the sender paired.
+func goodAlwaysReceives(slow func() int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- slow()
+	}()
+	return <-ch
+}
+
+// A buffer sized to the number of sends lets the sender finish even
+// when nobody receives.
+func goodBuffered(check func() error, slow func() int) (int, error) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- slow()
+	}()
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return <-ch, nil
+}
+
+// No receiver anywhere: the goroutine can never complete the send.
+func badNoReceiver(slow func() int) {
+	ch := make(chan int)
+	go func() {
+		ch <- slow() // want `no receive anywhere in the function`
+	}()
+}
+
+// A receive-forever goroutine with no sender and no close.
+func badForgottenDone(work func()) error {
+	done := make(chan struct{})
+	go func() {
+		<-done // want `no send or close anywhere in the function`
+	}()
+	work()
+	return nil
+}
+
+// A select with a default never parks the goroutine.
+func goodNonblockingSend(slow func() int) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- slow():
+		default:
+		}
+	}()
+}
+
+// Channels handed to other code are out of the local model.
+func goodEscapes(sink func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	sink(ch)
+}
+
+// Counterpart in another goroutine: the pair outlives the function
+// together.
+func goodPairedGoroutines(slow func() int, use func(int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- slow()
+	}()
+	go func() {
+		use(<-ch)
+	}()
+}
+
+// Range consumer with a close on every path to the exit.
+func goodRangeClose(n int, use func(int)) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}

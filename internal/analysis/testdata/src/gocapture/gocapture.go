@@ -1,0 +1,112 @@
+// Fixture for the gocapture analyzer: package base name "core" puts it
+// in scope. Go 1.22 loop variables are per-iteration, so only state the
+// loop shares across iterations should be flagged.
+package core
+
+import "sync"
+
+func process(b []byte)        {}
+func sink(i int)              {}
+func sinkRow(i int, b []byte) {}
+
+// A cursor declared outside the loop and rewritten each iteration is
+// one variable every goroutine shares.
+func badSharedCursor(rows [][]byte) {
+	var cur []byte
+	var wg sync.WaitGroup
+	for i := range rows {
+		cur = rows[i]
+		wg.Add(1)
+		go func() { // want `go closure captures cur`
+			defer wg.Done()
+			process(cur)
+		}()
+	}
+	wg.Wait()
+}
+
+// Pre-1.22-style loop: the index is assigned, not declared, so all
+// iterations share it.
+func badLegacyIndex(n int) {
+	var i int
+	var wg sync.WaitGroup
+	for i = 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `go closure captures i`
+			defer wg.Done()
+			sink(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// Range with = assigns pre-declared variables: both are shared cells.
+func badRangeAssign(rows [][]byte) {
+	var i int
+	var row []byte
+	var wg sync.WaitGroup
+	for i, row = range rows {
+		wg.Add(1)
+		go func() { // want `go closure captures i` `go closure captures row`
+			defer wg.Done()
+			sinkRow(i, row)
+		}()
+	}
+	wg.Wait()
+}
+
+// Variables declared by the loop are per-iteration since Go 1.22.
+func goodPerIteration(rows [][]byte) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// Passing the value as an argument snapshots it at spawn time.
+func goodArgument(rows [][]byte) {
+	var cur []byte
+	var wg sync.WaitGroup
+	for i := range rows {
+		cur = rows[i]
+		wg.Add(1)
+		go func(cur []byte) {
+			defer wg.Done()
+			process(cur)
+		}(cur)
+	}
+	wg.Wait()
+}
+
+// A goroutine joined inside the same iteration cannot observe the next
+// iteration's write.
+func goodJoinedEachIteration(rows [][]byte) {
+	var buf []byte
+	for i := range rows {
+		buf = rows[i]
+		done := make(chan struct{})
+		go func() {
+			process(buf)
+			close(done)
+		}()
+		<-done
+	}
+}
+
+// Capturing loop-invariant outer state is fine.
+func goodInvariant(rows [][]byte, prefix []byte) {
+	var wg sync.WaitGroup
+	for range rows {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(prefix)
+		}()
+	}
+	wg.Wait()
+}

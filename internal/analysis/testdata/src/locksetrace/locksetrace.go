@@ -1,0 +1,131 @@
+// Fixture for the locksetrace analyzer: package base name "core" puts
+// it in scope, mirroring repro/internal/core's parallel outlier scan.
+package core
+
+import "sync"
+
+// Loop-spawned goroutines incrementing a shared counter with no lock:
+// every iteration's instance races with the others.
+func badLoopCounter(rows []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			total += r // want `total is written in a spawned goroutine`
+		}(r)
+	}
+	wg.Wait()
+	return total
+}
+
+// The same shape with both sides holding one mutex is clean.
+func goodGuardedCounter(rows []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			mu.Lock()
+			total += r
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}
+
+// Per-goroutine slots: each instance writes a disjoint element through
+// its own index, the engine's sharding idiom.
+func goodShardedSlots(rows []int) []int {
+	out := make([]int, len(rows))
+	var wg sync.WaitGroup
+	for i, r := range rows {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			out[i] = r * 2
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// The spawning function reading in the window between spawn and join
+// races with the goroutine's writes.
+func badReadBeforeJoin(rows []int) int {
+	sum := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, r := range rows {
+			sum += r // want `sum is written in a spawned goroutine`
+		}
+	}()
+	peek := sum
+	wg.Wait()
+	return sum + peek
+}
+
+// Reading only after wg.Wait() is ordered after the writes.
+func goodJoinFirst(rows []int) int {
+	sum := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, r := range rows {
+			sum += r
+		}
+	}()
+	wg.Wait()
+	return sum
+}
+
+type agg struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *agg) addLocked(v int) {
+	a.mu.Lock()
+	a.n += v
+	a.mu.Unlock()
+}
+
+func (a *agg) addUnlocked(v int) {
+	a.n += v
+}
+
+// Writes through a helper whose summary shows the mutation is guarded.
+func goodHelperGuarded(rows []int, a *agg) {
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			a.addLocked(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// The same call shape where the helper's write is unguarded: the
+// concsummary fact carries the write out of the helper.
+func badHelperUnlocked(rows []int, a *agg) {
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			a.addUnlocked(r) // want `a is written in a spawned goroutine`
+		}(r)
+	}
+	wg.Wait()
+}

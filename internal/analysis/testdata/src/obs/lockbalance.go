@@ -53,6 +53,33 @@ func (r *registry) distinctMutexes() {
 	defer r.rw.Unlock()
 }
 
+// A release registered through a helper closure bound to a local
+// variable is still deferred — the shape the analyzer used to miss.
+func (r *registry) deferredHelperClosure() {
+	r.mu.Lock()
+	cleanup := func() {
+		r.items = nil
+		r.mu.Unlock()
+	}
+	defer cleanup()
+}
+
+// A deferred helper that never releases does not balance the acquire.
+func (r *registry) helperClosureNoRelease() {
+	r.mu.Lock() // want `never released in this function`
+	noop := func() { r.items = nil }
+	defer noop()
+}
+
+// A helper rebound between binding and defer is too ambiguous to trust
+// as the deferred release.
+func (r *registry) helperClosureRebound() {
+	r.mu.Lock() // want `released by a non-deferred Unlock`
+	cleanup := func() { r.mu.Unlock() }
+	cleanup = func() { r.items = nil }
+	defer cleanup()
+}
+
 func (r *registry) suppressedHandOver() {
 	//spartanvet:ignore lockbalance lock is handed to release()
 	r.mu.Lock()

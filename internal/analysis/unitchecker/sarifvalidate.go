@@ -1,0 +1,38 @@
+// SARIF validate mode: `spartanvet -sarifvalidate report.sarif ...`
+// runs every named file through the strict sarif.Validate decoder (no
+// unknown fields, required fields and enumerations checked) and fails
+// on the first malformed log. CI runs it on the report it is about to
+// upload to code scanning, so a drift between the emitter and the
+// SARIF 2.1.0 model breaks the build instead of silently producing a
+// log GitHub rejects or misrenders.
+package unitchecker
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis/sarif"
+)
+
+// runSarifValidate implements the -sarifvalidate mode. Exit codes: 0
+// when every file is a valid SARIF 2.1.0 log, 1 otherwise.
+func runSarifValidate(progname string, paths []string, stdout, stderr io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "%s: -sarifvalidate wants at least one report file\n", progname)
+		return 1
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		if err := sarif.Validate(data); err != nil {
+			fmt.Fprintf(stderr, "%s: %s: %v\n", progname, path, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: %s is a valid SARIF %s log\n", progname, path, sarif.Version)
+	}
+	return 0
+}

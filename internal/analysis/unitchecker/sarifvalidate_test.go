@@ -1,0 +1,61 @@
+package unitchecker
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/sarif"
+)
+
+// TestSarifValidate drives the -sarifvalidate mode through the CLI
+// entry point: a well-formed emitted log passes, a log with fields
+// outside the model fails, and usage errors exit 1.
+func TestSarifValidate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.sarif")
+	writeSarifLog(t, good, []sarif.Result{
+		result("locksetrace", "core/core.go", "total is written in a spawned goroutine", 12),
+	})
+
+	t.Run("valid log passes", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifvalidate", good}, nil, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "valid SARIF") {
+			t.Errorf("stdout missing confirmation: %s", stdout.String())
+		}
+	})
+
+	t.Run("unknown field fails", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad.sarif")
+		data, err := os.ReadFile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drifted := bytes.Replace(data, []byte(`"version"`), []byte(`"futureField": 1, "version"`), 1)
+		if err := os.WriteFile(bad, drifted, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifvalidate", bad}, nil, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit %d, want 1\nstdout: %s", code, stdout.String())
+		}
+		if !strings.Contains(stderr.String(), "bad.sarif") {
+			t.Errorf("stderr should name the failing file: %s", stderr.String())
+		}
+	})
+
+	t.Run("usage and IO errors", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		if code := run("spartanvet", []string{"-sarifvalidate"}, nil, &stdout, &stderr); code != 1 {
+			t.Errorf("no arguments: exit %d, want 1", code)
+		}
+		if code := run("spartanvet", []string{"-sarifvalidate", filepath.Join(dir, "missing.sarif")}, nil, &stdout, &stderr); code != 1 {
+			t.Errorf("missing file: exit %d, want 1", code)
+		}
+	})
+}

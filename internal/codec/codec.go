@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -399,11 +400,17 @@ func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
 	// Predicted columns are mutually independent (predictors are always
 	// materialized), so models reconstruct in parallel. ValidateStructure
 	// above already guarantees every produced code fits its dictionary.
+	// The semaphore caps live goroutines at GOMAXPROCS: a hostile or
+	// merely wide archive can carry thousands of models, and each
+	// Reconstruct holds a full column of intermediate values.
 	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, m := range models {
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(m *cart.Model) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			rec := m.Reconstruct(routing, dicts[m.Target])
 			if rec.Kind == table.Numeric {
 				copy(cols[m.Target].Floats, rec.Floats)
