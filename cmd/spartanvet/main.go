@@ -13,7 +13,13 @@
 // untrusted wire integers reaching allocations unguarded, sizeoverflow:
 // overflow-prone arithmetic on wire values), fed by the funcsummary fact
 // producer, which hands per-function dataflow summaries across package
-// boundaries through vet's .vetx fact files; four are concurrency
+// boundaries through vet's .vetx fact files; three ride the value-range
+// interval layer in internal/analysis/vrange (the rangesummary fact
+// producer, which proves bounds bottom-up over call-graph SCCs and also
+// range-filters the taint analyzers' sinks; indexbound: wire-derived
+// slice indexes the interval analysis cannot prove within len; wiresym:
+// writer/reader pairs in the codec packages whose fixed-width binary
+// operations disagree in width, order or endianness); four are concurrency
 // analyzers built on the goroutine-spawn model, lockset dataflow and
 // concsummary facts in internal/analysis/conc (locksetrace: goroutine
 // accesses with provably disjoint locksets, gocapture: loop state
@@ -56,6 +62,7 @@ import (
 	"repro/internal/analysis/errcheckio"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/indexbound"
 	"repro/internal/analysis/lockbalance"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/nilflow"
@@ -64,28 +71,37 @@ import (
 	"repro/internal/analysis/summary"
 	"repro/internal/analysis/taintalloc"
 	"repro/internal/analysis/unitchecker"
+	"repro/internal/analysis/vrange"
 	"repro/internal/analysis/wgbalance"
+	"repro/internal/analysis/wiresym"
 )
 
+// analyzers is the full suite in registration order; the self-benchmark
+// in bench_test.go measures each entry over a fixture corpus.
+var analyzers = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	spanfinish.Analyzer,
+	lockbalance.Analyzer,
+	errcheckio.Analyzer,
+	metricname.Analyzer,
+	ctxfirst.Analyzer,
+	nilflow.Analyzer,
+	deferloop.Analyzer,
+	wgbalance.Analyzer,
+	hotalloc.Analyzer,
+	summary.Analyzer,
+	vrange.Analyzer,
+	taintalloc.Analyzer,
+	sizeoverflow.Analyzer,
+	indexbound.Analyzer,
+	wiresym.Analyzer,
+	conc.Analyzer,
+	locksetrace.Analyzer,
+	gocapture.Analyzer,
+	boundedspawn.Analyzer,
+	chanleak.Analyzer,
+}
+
 func main() {
-	unitchecker.Run("spartanvet", os.Args[1:], []*analysis.Analyzer{
-		floatcmp.Analyzer,
-		spanfinish.Analyzer,
-		lockbalance.Analyzer,
-		errcheckio.Analyzer,
-		metricname.Analyzer,
-		ctxfirst.Analyzer,
-		nilflow.Analyzer,
-		deferloop.Analyzer,
-		wgbalance.Analyzer,
-		hotalloc.Analyzer,
-		summary.Analyzer,
-		taintalloc.Analyzer,
-		sizeoverflow.Analyzer,
-		conc.Analyzer,
-		locksetrace.Analyzer,
-		gocapture.Analyzer,
-		boundedspawn.Analyzer,
-		chanleak.Analyzer,
-	})
+	unitchecker.Run("spartanvet", os.Args[1:], analyzers)
 }

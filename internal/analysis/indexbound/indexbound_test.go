@@ -1,0 +1,12 @@
+package indexbound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/indexbound"
+)
+
+func TestIndexbound(t *testing.T) {
+	analyzertest.Run(t, "../testdata", indexbound.Analyzer, "indexbound")
+}

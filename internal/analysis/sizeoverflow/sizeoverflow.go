@@ -16,6 +16,12 @@
 //     overflow the product; bound each factor so the product fits, or
 //     cross-check with a division (`a > Max/b`) — both kill the taint.
 //
+// Both rules are range-aware: a narrowing whose operand interval the
+// value-range analysis (internal/analysis/vrange) proves to fit the
+// target type, or a product whose raw operand-interval result fits the
+// expression's type, is not reported — the proof comes from the guards
+// actually present, not a syntactic clamp pattern.
+//
 // Scope: codec, cart, archive — the hostile-input decode path.
 package sizeoverflow
 
@@ -27,6 +33,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/summary"
 	"repro/internal/analysis/taintalloc"
+	"repro/internal/analysis/vrange"
 )
 
 // Analyzer flags overflow-prone size arithmetic on wire-tainted values.
@@ -40,7 +47,8 @@ func run(pass *analysis.Pass) error {
 	if !pass.PackageBase("codec", "cart", "archive") {
 		return nil
 	}
-	res := summary.Compute(pass.Fset, pass.Files, pass.TypesInfo, summary.FactLookup(pass.Facts))
+	vr := vrange.Compute(pass.Fset, pass.Files, pass.TypesInfo, vrange.FactLookup(pass.Facts))
+	res := summary.Compute(pass.Fset, pass.Files, pass.TypesInfo, summary.FactLookup(pass.Facts), vr)
 
 	fns := make([]*types.Func, 0, len(res.Flows))
 	for fn := range res.Flows {

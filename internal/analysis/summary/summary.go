@@ -8,16 +8,20 @@
 //     whether an untrusted wire read flows into a result (Source);
 //   - which parameters reach an allocation-shaped sink unguarded inside
 //     the function or its callees (SinkParams) — a make size, the bound
-//     of an allocating loop, bytes.Buffer.Grow, io.CopyN;
-//   - whether the function is a clamp (minInt-shaped: returns the
-//     smaller of two arguments), so passing one bounded argument bounds
-//     the result.
+//     of an allocating loop, bytes.Buffer.Grow, io.CopyN.
 //
 // Summaries are computed bottom-up over the SCCs of the package call
 // graph (fixpoint iteration inside recursive components) by the
 // edge-sensitive taint engine in taint.go, and serialized as the
 // "funcsummary" analyzer fact so downstream packages reuse them through
 // the unitchecker's vetx files without access to dependency source.
+//
+// The engine is range-aware: when the caller supplies the package's
+// value-range result (internal/analysis/vrange), a sink whose size
+// expression has a *proved* finite upper bound is dropped — the range
+// analysis discharges clamps (minInt, builtin min with a constant),
+// mask/modulo reductions and guard refinements uniformly, instead of
+// the syntactic clamp-shape matching earlier revisions used.
 package summary
 
 import (
@@ -28,6 +32,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/vrange"
 )
 
 // FactName is the analyzer name summaries are stored under in a
@@ -78,11 +83,10 @@ type FuncSummary struct {
 	Params      int          `json:"params"`
 	ReturnFlows []ReturnFlow `json:"returns,omitempty"`
 	SinkParams  []SinkParam  `json:"sinks,omitempty"`
-	Clamp       bool         `json:"clamp,omitempty"`
 }
 
 func (s *FuncSummary) empty() bool {
-	if s.Clamp || len(s.SinkParams) > 0 {
+	if len(s.SinkParams) > 0 {
 		return false
 	}
 	for _, rf := range s.ReturnFlows {
@@ -117,8 +121,11 @@ type Result struct {
 // Compute builds the call graph of the package, orders it bottom-up by
 // SCC, and runs the taint engine over every function body. imported
 // resolves summaries of cross-package callees (nil is fine: those
-// callees are treated as unknown, conservatively summary-free).
-func Compute(fset *token.FileSet, files []*ast.File, info *types.Info, imported Lookup) *Result {
+// callees are treated as unknown, conservatively summary-free). ranges
+// is the package's value-range result; when non-nil, sinks whose size
+// the interval analysis proves bounded are dropped (nil keeps every
+// taint-reachable sink).
+func Compute(fset *token.FileSet, files []*ast.File, info *types.Info, imported Lookup, ranges *vrange.Result) *Result {
 	g := callgraph.Build(files, info)
 	res := &Result{
 		ByFunc: map[*types.Func]*FuncSummary{},
@@ -142,7 +149,11 @@ func Compute(fset *token.FileSet, files []*ast.File, info *types.Info, imported 
 		for round := 0; ; round++ {
 			changed := false
 			for _, n := range scc {
-				e := &Engine{Fset: fset, Info: info, Lookup: lookup}
+				var fr *vrange.FuncResult
+				if ranges != nil {
+					fr = ranges.Funcs[n.Func]
+				}
+				e := &Engine{Fset: fset, Info: info, Lookup: lookup, Ranges: fr}
 				flow := e.Run(n.Decl)
 				sum := flow.Summary()
 				if old := res.ByFunc[n.Func]; old == nil || !old.equal(sum) {
@@ -207,10 +218,11 @@ func FactLookup(store *analysis.FactStore) Lookup {
 // Drivers run it over dependencies because Facts is set.
 var Analyzer = &analysis.Analyzer{
 	Name:  FactName,
-	Doc:   "funcsummary: compute per-function dataflow summaries (param→return flows, unguarded sink parameters, wire-source returns, clamp shape) bottom-up over call-graph SCCs and export them as a package fact for the interprocedural analyzers",
+	Doc:   "funcsummary: compute per-function dataflow summaries (param→return flows, unguarded sink parameters, wire-source returns) bottom-up over call-graph SCCs, range-filtered through vrange, and export them as a package fact for the interprocedural analyzers",
 	Facts: true,
 	Run: func(pass *analysis.Pass) error {
-		res := Compute(pass.Fset, pass.Files, pass.TypesInfo, FactLookup(pass.Facts))
+		vr := vrange.Compute(pass.Fset, pass.Files, pass.TypesInfo, vrange.FactLookup(pass.Facts))
+		res := Compute(pass.Fset, pass.Files, pass.TypesInfo, FactLookup(pass.Facts), vr)
 		blob, err := res.Encode()
 		if err != nil {
 			return err
@@ -274,86 +286,6 @@ func resultVars(decl *ast.FuncDecl, info *types.Info) []*types.Var {
 		}
 	}
 	return out
-}
-
-// isClampShaped recognizes the minInt idiom — a two-parameter integer
-// function whose every return yields one of the parameters, selected by
-// a comparison so the smaller one is returned:
-//
-//	func minInt(a, b int) int { if a < b { return a }; return b }
-//
-// Calls to a clamp with at least one untainted argument produce a
-// bounded (untainted) result. The Go builtin min is handled directly by
-// the engine; this covers the pre-1.21 hand-rolled helpers.
-func isClampShaped(decl *ast.FuncDecl, info *types.Info) bool {
-	if decl.Recv != nil || decl.Body == nil {
-		return false
-	}
-	params := paramVars(decl, info)
-	if len(params) != 2 || params[0] == nil || params[1] == nil {
-		return false
-	}
-	for _, p := range params {
-		if !isIntegerKind(p.Type()) {
-			return false
-		}
-	}
-	stmts := decl.Body.List
-	if len(stmts) != 2 {
-		return false
-	}
-	ifs, ok := stmts[0].(*ast.IfStmt)
-	if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
-		return false
-	}
-	cond, ok := ifs.Cond.(*ast.BinaryExpr)
-	if !ok {
-		return false
-	}
-	thenRet := returnedParam(ifs.Body.List[0], params, info)
-	elseRet := returnedParam(stmts[1], params, info)
-	if thenRet < 0 || elseRet < 0 || thenRet == elseRet {
-		return false
-	}
-	condL := paramIndexOf(cond.X, params, info)
-	condR := paramIndexOf(cond.Y, params, info)
-	if condL < 0 || condR < 0 || condL == condR {
-		return false
-	}
-	// The returned-then param must be on the smaller side of the
-	// comparison: `if a < b { return a }` or `if a > b { return b }`.
-	switch cond.Op {
-	case token.LSS, token.LEQ:
-		return thenRet == condL && condL != condR
-	case token.GTR, token.GEQ:
-		return thenRet == condR
-	}
-	return false
-}
-
-func returnedParam(s ast.Stmt, params []*types.Var, info *types.Info) int {
-	ret, ok := s.(*ast.ReturnStmt)
-	if !ok || len(ret.Results) != 1 {
-		return -1
-	}
-	return paramIndexOf(ret.Results[0], params, info)
-}
-
-func paramIndexOf(e ast.Expr, params []*types.Var, info *types.Info) int {
-	id, ok := e.(*ast.Ident)
-	if !ok {
-		return -1
-	}
-	v, _ := info.Uses[id].(*types.Var)
-	if v == nil {
-		return -1
-	}
-	for i, p := range params {
-		if p == v {
-			return i
-		}
-	}
-	return -1
 }
 
 func isIntegerKind(t types.Type) bool {

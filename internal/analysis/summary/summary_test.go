@@ -7,6 +7,8 @@ import (
 	"go/token"
 	"go/types"
 	"testing"
+
+	"repro/internal/analysis/vrange"
 )
 
 func compute(t *testing.T, src string) (*Result, *types.Package, *token.FileSet) {
@@ -27,7 +29,8 @@ func compute(t *testing.T, src string) (*Result, *types.Package, *token.FileSet)
 	if err != nil {
 		t.Fatalf("typecheck: %v", err)
 	}
-	return Compute(fset, []*ast.File{f}, info, nil), pkg, fset
+	vr := vrange.Compute(fset, []*ast.File{f}, info, nil)
+	return Compute(fset, []*ast.File{f}, info, nil, vr), pkg, fset
 }
 
 func summaryOf(t *testing.T, res *Result, pkg *types.Package, name string) *FuncSummary {
@@ -157,7 +160,10 @@ func wrongVar(n, m int) []byte {
 	}
 }
 
-func TestClampRecognition(t *testing.T) {
+func TestRangeProvedClamp(t *testing.T) {
+	// Clamp helpers are discharged by the value-range analysis: the
+	// minInt summary's MinOfParams makes the make size provably finite,
+	// while maxInt keeps the unbounded operand's upper bound.
 	res, pkg, _ := compute(t, `package p
 
 func minInt(a, b int) int {
@@ -179,18 +185,18 @@ func clamped(n int) []byte { return make([]byte, minInt(n, 4096)) }
 
 // max does not bound: still a sink.
 func unclamped(n int) []byte { return make([]byte, maxInt(n, 4096)) }
+
+// A mask reduction bounds too — no clamp shape anywhere in sight.
+func masked(n int) []byte { return make([]byte, n&0xfff) }
 `)
-	if s := summaryOf(t, res, pkg, "minInt"); !s.Clamp {
-		t.Errorf("minInt not recognized as clamp: %+v", s)
-	}
-	if s := summaryOf(t, res, pkg, "maxInt"); s.Clamp {
-		t.Errorf("maxInt wrongly recognized as clamp")
-	}
 	if s := summaryOf(t, res, pkg, "clamped"); len(s.SinkParams) != 0 {
 		t.Errorf("clamped sinks = %+v, want none", s.SinkParams)
 	}
 	if s := summaryOf(t, res, pkg, "unclamped"); len(s.SinkParams) == 0 {
 		t.Errorf("unclamped: max-combined size must stay a sink param")
+	}
+	if s := summaryOf(t, res, pkg, "masked"); len(s.SinkParams) != 0 {
+		t.Errorf("masked sinks = %+v, want none (interval proof)", s.SinkParams)
 	}
 }
 

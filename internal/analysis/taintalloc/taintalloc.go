@@ -5,9 +5,11 @@
 // says a wire value flows into its result — is tainted. Taint dies when
 // the value passes a bounding comparison against an untainted limit
 // (the DecodeLimits discipline from PR 4: `if n > lim.MaxRows { return
-// err }`), is reassigned a trusted value, or goes through a clamp
-// (minInt / builtin min with a constant bound). Tainted values must not
-// reach:
+// err }`) or is reassigned a trusted value; independently, a sink whose
+// size the value-range analysis (internal/analysis/vrange) proves
+// bounded above — a minInt/builtin-min clamp with a constant bound, a
+// mask or modulo reduction, a refined guard — is not a finding at all.
+// Tainted values must not reach:
 //
 //   - make sizes or capacities,
 //   - the bound of a loop that appends or makes per iteration,
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/summary"
+	"repro/internal/analysis/vrange"
 )
 
 // Analyzer flags unguarded wire-derived values reaching allocations.
@@ -48,7 +51,8 @@ func run(pass *analysis.Pass) error {
 	if !pass.PackageBase("codec", "cart", "archive") {
 		return nil
 	}
-	res := summary.Compute(pass.Fset, pass.Files, pass.TypesInfo, summary.FactLookup(pass.Facts))
+	vr := vrange.Compute(pass.Fset, pass.Files, pass.TypesInfo, vrange.FactLookup(pass.Facts))
+	res := summary.Compute(pass.Fset, pass.Files, pass.TypesInfo, summary.FactLookup(pass.Facts), vr)
 
 	// Deterministic report order: by function position.
 	fns := make([]*types.Func, 0, len(res.Flows))

@@ -1,0 +1,66 @@
+// Fixtures for the indexbound analyzer: wire-derived indexes and slice
+// bounds must be provably within len of the sequence they index. The
+// package clause says codec so the scoped analyzer runs.
+package codec
+
+import "encoding/binary"
+
+func badIndex(xs []int, data []byte) int {
+	v, _ := binary.Uvarint(data)
+	return xs[v] // want "wire-derived value used as index"
+}
+
+func goodIndex(xs []int, data []byte) int {
+	v, _ := binary.Uvarint(data)
+	if v >= uint64(len(xs)) {
+		return 0
+	}
+	return xs[v]
+}
+
+func badSliceBound(xs []byte, data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	return xs[:n] // want "wire-derived value used as slice bound"
+}
+
+func goodSliceBound(xs []byte, data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	if n > uint64(len(xs)) {
+		return nil
+	}
+	return xs[:n]
+}
+
+// pick indexes its parameter: the obligation travels to callers via
+// the IndexParam summary; pick itself is not a finding.
+func pick(xs []int, i int) int { return xs[i] }
+
+func guardedCaller(xs []int, data []byte) int {
+	v, _ := binary.Uvarint(data)
+	if v >= uint64(len(xs)) {
+		return 0
+	}
+	return pick(xs, int(v))
+}
+
+func wildCaller(xs []int, data []byte) int {
+	v, _ := binary.Uvarint(data)
+	return pick(xs, int(v)) // want "flows into pick"
+}
+
+// The decoder shape the analyzer must accept: size and index both from
+// the wire, validated against each other before indexing.
+func dictDecode(data []byte) uint64 {
+	dlenU, n := binary.Uvarint(data)
+	dlen := int(dlenU)
+	if dlen <= 0 || dlen > 1<<16 {
+		return 0
+	}
+	dict := make([]uint64, dlen)
+	ixU, _ := binary.Uvarint(data[n:])
+	ix := int(ixU)
+	if ix < 0 || ix >= dlen {
+		return 0
+	}
+	return dict[ix]
+}

@@ -145,6 +145,16 @@ func decodeShortCircuit(br *bufio.Reader, seen []bool) error {
 	return nil
 }
 
+// A mask reduction proves the size finite with no comparison and no
+// clamp helper anywhere — only the interval analysis clears this.
+func decodeMasked(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n&0xffff), nil
+}
+
 // Reassignment to a trusted value ends suspicion.
 func decodeReassigned(br *bufio.Reader) ([]byte, error) {
 	n, err := binary.ReadUvarint(br)

@@ -1,0 +1,76 @@
+// Fixtures for the wiresym analyzer: writer/reader pairs must agree on
+// the widths, order and endianness of the fields they put on the wire.
+// The package clause says codec so the scoped analyzer runs.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// Symmetric pair: uvarint then a 4-byte little-endian field. Clean.
+func writeTrailer(bw *bufio.Writer, n uint32) error {
+	if err := putUvarint(bw, uint64(n)); err != nil {
+		return err
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], n)
+	_, err := bw.Write(buf[:4])
+	return err
+}
+
+func readTrailer(br *bufio.Reader) (uint32, error) {
+	if _, err := binary.ReadUvarint(br); err != nil {
+		return 0, err
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:4]), nil
+}
+
+// Width asymmetry: the writer emits 4 bytes, the reader consumes 2.
+func writeHeader(bw *bufio.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := bw.Write(buf[:4])
+	return err
+}
+
+func readHeader(br *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:2]); err != nil { // want "wire-format asymmetry"
+		return 0, err
+	}
+	return uint32(binary.LittleEndian.Uint16(buf[:2])), nil
+}
+
+// Order asymmetry: count then flag on the way out, flag then count on
+// the way back.
+func writeFrame(bw *bufio.Writer, count uint64, flag byte) error {
+	if err := putUvarint(bw, count); err != nil {
+		return err
+	}
+	return bw.WriteByte(flag)
+}
+
+func readFrame(br *bufio.Reader) (uint64, byte, error) {
+	flag, err := br.ReadByte() // want "wire-format asymmetry"
+	if err != nil {
+		return 0, 0, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	return count, flag, nil
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := bw.Write(buf[:n])
+	return err
+}

@@ -1,0 +1,329 @@
+package vrange
+
+import (
+	"go/token"
+	"go/types"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	if !Empty().IsEmpty() || Top().IsEmpty() || Const(3).IsEmpty() {
+		t.Fatal("emptiness misclassified")
+	}
+	if got := Range(1, 5).Join(Range(3, 9)); got != (Interval{1, 9}) {
+		t.Errorf("join = %v", got)
+	}
+	if got := Range(1, 5).Meet(Range(3, 9)); got != (Interval{3, 5}) {
+		t.Errorf("meet = %v", got)
+	}
+	if got := Range(1, 5).Meet(Range(6, 9)); !got.IsEmpty() {
+		t.Errorf("disjoint meet = %v, want empty", got)
+	}
+	if got := Range(0, 10).Widen(Range(0, 11)); got != (Interval{0, PosInf}) {
+		t.Errorf("widen grew-above = %v", got)
+	}
+	if got := Range(0, 10).Widen(Range(-1, 10)); got != (Interval{NegInf, 10}) {
+		t.Errorf("widen grew-below = %v", got)
+	}
+	if got := Range(0, 10).Widen(Range(2, 8)); got != (Interval{0, 10}) {
+		t.Errorf("widen shrink = %v, want stable", got)
+	}
+}
+
+func TestIntervalArithmeticCorners(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{"add", Range(1, 2).Add(Range(10, 20)), Interval{11, 22}},
+		{"add-sat", Range(math.MaxInt64-1, math.MaxInt64-1).Add(Const(5)), Interval{PosInf, PosInf}},
+		{"sub", Range(10, 20).Sub(Range(1, 2)), Interval{8, 19}},
+		{"neg", Range(-3, 7).Neg(), Interval{-7, 3}},
+		{"mul-sign", Range(-2, 3).Mul(Range(-5, 4)), Interval{-15, 12}},
+		{"mul-inf", Interval{0, PosInf}.Mul(Const(8)), Interval{0, PosInf}},
+		{"div", Range(10, 21).Div(Const(2)), Interval{5, 10}},
+		{"div-zero", Range(10, 21).Div(Range(0, 2)), Top()},
+		{"rem", Interval{NegInf, PosInf}.Rem(Const(16)), Interval{-15, 15}},
+		{"rem-nonneg", Interval{0, PosInf}.Rem(Const(16)), Interval{0, 15}},
+		{"and-mask", Top().And(Const(0xffff)), Interval{0, 0xffff}},
+		{"andnot", Range(0, 100).AndNot(Top()), Interval{0, 100}},
+		{"or-pow2", Range(0, 5).Or(Range(0, 9)), Interval{0, 15}},
+		{"shl", Range(1, 3).Shl(Const(4)), Interval{16, 48}},
+		{"shl-sat", Const(1).Shl(Const(63)), Interval{PosInf, PosInf}},
+		{"shr", Range(16, 48).Shr(Const(4)), Interval{1, 3}},
+		{"min", Range(0, 100).MinI(Const(10)), Interval{0, 10}},
+		{"max", Range(0, 100).MaxI(Const(10)), Interval{10, 100}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestMachineRangeAndFits(t *testing.T) {
+	u8 := types.Typ[types.Uint8]
+	i32 := types.Typ[types.Int32]
+	u64 := types.Typ[types.Uint64]
+	i64 := types.Typ[types.Int64]
+	if got := MachineRange(u8); got != (Interval{0, 255}) {
+		t.Errorf("uint8 range = %v", got)
+	}
+	if got := MachineRange(u64); got != (Interval{0, PosInf}) {
+		t.Errorf("uint64 range = %v", got)
+	}
+	if !FitsConversion(Range(0, 200), i64, u8) || FitsConversion(Range(0, 300), i64, u8) {
+		t.Error("FitsConversion uint8 boundary wrong")
+	}
+	if !FitsConversion(Range(0, 10), i64, u64) || FitsConversion(Range(-1, 10), i64, u64) {
+		t.Error("FitsConversion signed→uint64 must require non-negative")
+	}
+	if FitsConversion(Interval{0, PosInf}, u64, i64) {
+		t.Error("unbounded uint64 fits int64: wrap possible above MaxInt64")
+	}
+	if !FitsType(Range(0, 255), u8) || FitsType(Range(0, 256), u8) {
+		t.Error("FitsType boundary wrong")
+	}
+	// meetType: a wrapped value falls back to the full machine range.
+	if got := meetType(Range(300, 400), u8); got != (Interval{0, 255}) {
+		t.Errorf("meetType wrap fallback = %v", got)
+	}
+	if got := meetType(Range(3, 400), i32); got != (Interval{3, 400}) {
+		t.Errorf("meetType in-range = %v", got)
+	}
+	_ = token.ADD
+}
+
+// --- randomized differential: interval ops vs concrete execution ----------
+//
+// The reference model is direct execution on int64 sample points: for
+// every randomly generated op and operand pair, each concrete result
+// of concrete operands drawn from the operand intervals must lie in
+// the abstract result. This is the same discipline as the BitSet-vs-
+// map differential test: any divergence is an interval-domain
+// soundness bug (corner selection, saturation, sign handling).
+
+var diffOps = []token.Token{
+	token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+	token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT,
+}
+
+// concreteOp mirrors Go's evaluation on mathematical int64s, reporting
+// ok=false where the operation is undefined (division by zero,
+// negative or huge shift) or where int64 arithmetic would overflow —
+// the abstract domain treats overflow via type meets, which this test
+// exercises separately.
+func concreteOp(op token.Token, a, b int64) (int64, bool) {
+	switch op {
+	case token.ADD:
+		return addChecked(a, b)
+	case token.SUB:
+		return subChecked(a, b)
+	case token.MUL:
+		return mulChecked(a, b)
+	case token.QUO:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0, false
+		}
+		return a / b, true
+	case token.REM:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0, false
+		}
+		return a % b, true
+	case token.AND:
+		return a & b, true
+	case token.OR:
+		return a | b, true
+	case token.XOR:
+		return a ^ b, true
+	case token.AND_NOT:
+		return a &^ b, true
+	case token.SHL:
+		if b < 0 || b > 62 {
+			return 0, false
+		}
+		return mulChecked(a, int64(1)<<uint(b))
+	case token.SHR:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	}
+	return 0, false
+}
+
+// randInterval draws a small-ish interval, occasionally unbounded on
+// either side, biased toward boundaries where corner bugs live.
+func randInterval(rng *rand.Rand) Interval {
+	pick := func() int64 {
+		switch rng.Intn(8) {
+		case 0:
+			return 0
+		case 1:
+			return int64(rng.Intn(3)) - 1
+		case 2:
+			return int64(rng.Intn(65)) // shift-relevant
+		case 3:
+			return math.MaxInt64 - int64(rng.Intn(3)) - 1
+		case 4:
+			return math.MinInt64 + int64(rng.Intn(3)) + 1
+		default:
+			return rng.Int63n(1<<20) - 1<<19
+		}
+	}
+	lo, hi := pick(), pick()
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch rng.Intn(10) {
+	case 0:
+		lo = NegInf
+	case 1:
+		hi = PosInf
+	}
+	return Interval{lo, hi}
+}
+
+// sample draws a concrete member of i.
+func sample(rng *rand.Rand, i Interval) int64 {
+	lo, hi := i.Lo, i.Hi
+	if lo == NegInf {
+		lo = math.MinInt64 + 1
+	}
+	if hi == PosInf {
+		hi = math.MaxInt64 - 1
+	}
+	if lo >= hi {
+		return lo
+	}
+	// Pick endpoints often; corner bugs hide there.
+	switch rng.Intn(4) {
+	case 0:
+		return lo
+	case 1:
+		return hi
+	}
+	span := uint64(hi - lo)
+	if span == math.MaxUint64 {
+		return int64(rng.Uint64())
+	}
+	return lo + int64(rng.Uint64()%(span+1))
+}
+
+func TestDifferentialStraightLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		op := diffOps[rng.Intn(len(diffOps))]
+		ia, ib := randInterval(rng), randInterval(rng)
+		abs := binOp(op, ia, ib)
+		for k := 0; k < 8; k++ {
+			a, b := sample(rng, ia), sample(rng, ib)
+			c, ok := concreteOp(op, a, b)
+			if !ok {
+				continue
+			}
+			if c == NegInf || c == PosInf {
+				continue // sentinel collision: domain treats as unbounded
+			}
+			if !abs.Contains(c) {
+				t.Fatalf("trial %d: %v %s %v: concrete %d(%d,%d) ∉ abstract %v",
+					trial, ia, op, ib, c, a, b, abs)
+			}
+		}
+	}
+}
+
+// TestDifferentialChain runs short random straight-line programs — a
+// register file of intervals updated by random ops — checking a
+// concretely executed trace stays inside every abstract register.
+func TestDifferentialChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		const nregs = 4
+		abs := make([]Interval, nregs)
+		conc := make([]int64, nregs)
+		okc := make([]bool, nregs)
+		for i := range abs {
+			abs[i] = randInterval(rng)
+			conc[i] = sample(rng, abs[i])
+			okc[i] = conc[i] != NegInf && conc[i] != PosInf
+		}
+		for step := 0; step < 12; step++ {
+			op := diffOps[rng.Intn(len(diffOps))]
+			d, a, b := rng.Intn(nregs), rng.Intn(nregs), rng.Intn(nregs)
+			abs[d] = binOp(op, abs[a], abs[b])
+			if okc[a] && okc[b] {
+				c, ok := concreteOp(op, conc[a], conc[b])
+				okc[d] = ok && c != NegInf && c != PosInf
+				conc[d] = c
+			} else {
+				okc[d] = false
+			}
+			if okc[d] && !abs[d].Contains(conc[d]) {
+				t.Fatalf("trial %d step %d: %d ∉ %v after %s", trial, step, conc[d], abs[d], op)
+			}
+		}
+	}
+}
+
+// TestDifferentialLoop mirrors single-loop programs: a register is
+// repeatedly updated by a fixed random op with a fixed operand, the
+// abstract side widening after a few iterations (exactly the solver's
+// policy); every concrete iterate must stay inside the stabilized
+// interval.
+func TestDifferentialLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4000; trial++ {
+		op := diffOps[rng.Intn(len(diffOps))]
+		init := randInterval(rng)
+		step := randInterval(rng)
+		stepConc := sample(rng, step)
+		if stepConc == NegInf || stepConc == PosInf {
+			continue
+		}
+		// Abstract fixpoint with widening after 4 joins.
+		cur := init
+		for i := 0; ; i++ {
+			next := cur.Join(binOp(op, cur, step))
+			if next == cur {
+				break
+			}
+			if i >= 4 {
+				next = cur.Widen(next)
+			}
+			if next == cur {
+				break
+			}
+			cur = next
+			if i > 200 {
+				t.Fatalf("trial %d: loop fixpoint did not stabilize: %v", trial, cur)
+			}
+		}
+		// Concrete trace.
+		x := sample(rng, init)
+		if x == NegInf || x == PosInf {
+			continue
+		}
+		for i := 0; i < 64; i++ {
+			if !cur.Contains(x) {
+				t.Fatalf("trial %d iter %d: %d ∉ %v (op %s, step %d, init %v)",
+					trial, i, x, cur, op, stepConc, init)
+			}
+			nx, ok := concreteOp(op, x, stepConc)
+			if !ok || nx == NegInf || nx == PosInf {
+				break
+			}
+			x = nx
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package wiresym_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/wiresym"
+)
+
+// TestSeedMutation is the analyzer's self-test against the invariant it
+// exists to protect: testdata/seedmutation/column.go is a faithful
+// stdlib-only mirror of the real writeColumn/readColumn pair — count
+// uvarint, 4-byte little-endian checksum, per-cell uvarints — and must
+// analyze clean. Mechanically narrowing the reader's fixed-width read
+// from 4 bytes to 2 (the seed mutation a careless field-width change
+// would make) must reproduce the wiresym finding with the writer's
+// side attached as a related path.
+func TestSeedMutation(t *testing.T) {
+	const fixture = "testdata/seedmutation/column.go"
+
+	if diags := analyze(t, fixture, nil); len(diags) != 0 {
+		t.Fatalf("symmetric pair should be clean, got %d findings: %v", len(diags), messages(diags))
+	}
+
+	diags := analyze(t, fixture, narrowReaderWidth)
+	if len(diags) != 1 {
+		t.Fatalf("narrowing the reader read should reproduce exactly 1 finding, got %d: %v",
+			len(diags), messages(diags))
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "writeColumn") || !strings.Contains(d.Message, "readColumn") {
+		t.Errorf("finding should name both sides of the pair, got %q", d.Message)
+	}
+	if !strings.Contains(d.Message, "4-byte") || !strings.Contains(d.Message, "2-byte") {
+		t.Errorf("finding should describe the width divergence, got %q", d.Message)
+	}
+	if len(d.Related) < 2 {
+		t.Fatalf("finding should carry a writer-side related path, got %d locations", len(d.Related))
+	}
+	if !strings.Contains(d.Related[0].Message, "writer writeColumn") {
+		t.Errorf("related path should start at the writer declaration, starts with %q", d.Related[0].Message)
+	}
+	foundEmit := false
+	for _, r := range d.Related {
+		if strings.Contains(r.Message, "writer emits a 4-byte") {
+			foundEmit = true
+		}
+	}
+	if !foundEmit {
+		t.Errorf("related path should point at the writer's 4-byte emit, got %v", relatedMessages(d))
+	}
+}
+
+// TestSeedMutationEndianness flips the reader's decode to big-endian:
+// same widths, wrong byte order — the asymmetry a copy-paste from a
+// big-endian format would introduce.
+func TestSeedMutationEndianness(t *testing.T) {
+	diags := analyze(t, "testdata/seedmutation/column.go", flipReaderEndianness)
+	if len(diags) != 1 {
+		t.Fatalf("flipping reader endianness should reproduce exactly 1 finding, got %d: %v",
+			len(diags), messages(diags))
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "little-endian") || !strings.Contains(d.Message, "big-endian") {
+		t.Errorf("finding should describe the endianness divergence, got %q", d.Message)
+	}
+}
+
+// analyze parses and type-checks the fixture, applies mutate (if any),
+// and returns wiresym's diagnostics.
+func analyze(t *testing.T, path string, mutate func(*ast.File)) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	files := []*ast.File{f}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("codec", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(wiresym.Analyzer, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := wiresym.Analyzer.Run(pass); err != nil {
+		t.Fatalf("running wiresym: %v", err)
+	}
+	return diags
+}
+
+// narrowReaderWidth rewrites readColumn's buf[:4] bounds to buf[:2] and
+// the Uint32 decode to Uint16 — a 4-byte field read back as 2.
+func narrowReaderWidth(f *ast.File) {
+	inFunc(f, "readColumn", func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.BasicLit:
+			if x.Kind == token.INT && x.Value == "4" {
+				x.Value = "2"
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Uint32" {
+				x.Sel.Name = "Uint16"
+			}
+		}
+	})
+}
+
+// flipReaderEndianness rewrites readColumn's LittleEndian decode to
+// BigEndian, leaving widths intact.
+func flipReaderEndianness(f *ast.File) {
+	inFunc(f, "readColumn", func(n ast.Node) {
+		if x, ok := n.(*ast.SelectorExpr); ok && x.Sel.Name == "LittleEndian" {
+			x.Sel.Name = "BigEndian"
+		}
+	})
+}
+
+func inFunc(f *ast.File, name string, visit func(ast.Node)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n != nil {
+				visit(n)
+			}
+			return true
+		})
+	}
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}
+
+func relatedMessages(d analysis.Diagnostic) []string {
+	out := make([]string, len(d.Related))
+	for i, r := range d.Related {
+		out[i] = r.Message
+	}
+	return out
+}

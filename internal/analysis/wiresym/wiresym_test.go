@@ -1,0 +1,12 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/wiresym"
+)
+
+func TestWiresym(t *testing.T) {
+	analyzertest.Run(t, "../testdata", wiresym.Analyzer, "wiresym")
+}

@@ -290,7 +290,7 @@ func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
 	}
 	wantCRC := binary.LittleEndian.Uint32(crcBuf[:])
 	modelBytes := make([]byte, 0, minInt(int(modelsLen), 1<<20))
-	modelBytes, err = readFullGrowing(br, modelBytes, int(modelsLen))
+	modelBytes, err = readFullGrowing(br, modelBytes, int(modelsLen), lim)
 	if err != nil {
 		return nil, fmt.Errorf("codec: reading models: %w", err)
 	}
@@ -636,8 +636,15 @@ func zeroCodes(n int) []int32 {
 }
 
 // readFullGrowing reads exactly n bytes, growing dst incrementally so a
-// lying length cannot force a huge upfront allocation.
-func readFullGrowing(r io.Reader, dst []byte, n int) ([]byte, error) {
+// lying length cannot force a huge upfront allocation. The total is
+// re-checked against lim.MaxModelBytes here rather than trusting the
+// caller's guard: the function is the allocation sink, so the bound
+// that protects it must travel with the call.
+func readFullGrowing(r io.Reader, dst []byte, n int, lim DecodeLimits) ([]byte, error) {
+	lim = lim.withDefaults()
+	if n < 0 || uint64(n) > lim.MaxModelBytes {
+		return nil, fmt.Errorf("codec: read length %d exceeds limit %d", n, lim.MaxModelBytes)
+	}
 	const chunk = 1 << 20
 	for len(dst) < n {
 		want := n - len(dst)

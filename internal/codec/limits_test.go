@@ -150,6 +150,44 @@ func TestDecodeRejectsHostileHeaders(t *testing.T) {
 	}
 }
 
+// TestReadFullGrowingCapped drives the allocation sink directly with
+// lengths its callers should never let through: the function must
+// enforce the DecodeLimits cap itself, erroring before any allocation
+// instead of trusting the caller's guard.
+func TestReadFullGrowingCapped(t *testing.T) {
+	lim := DecodeLimits{MaxModelBytes: 1 << 10}
+	hostile := []int{-1, 1<<10 + 1, 1 << 40}
+	for _, n := range hostile {
+		var err error
+		delta := allocDelta(func() {
+			_, err = readFullGrowing(bytes.NewReader(nil), nil, n, lim)
+		})
+		if err == nil {
+			t.Errorf("n=%d: readFullGrowing accepted a length past the cap", n)
+		} else if !strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("n=%d: error %q does not name the violated bound", n, err)
+		}
+		if delta > 1<<16 {
+			t.Errorf("n=%d: allocated %d bytes while rejecting the length", n, delta)
+		}
+	}
+
+	// Zero-value limits fall back to the defaults, and an in-cap read
+	// still delivers exactly n bytes.
+	payload := bytes.Repeat([]byte{0xab}, 3000)
+	got, err := readFullGrowing(bytes.NewReader(payload), nil, len(payload), DecodeLimits{})
+	if err != nil {
+		t.Fatalf("in-cap read failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read %d bytes, want %d identical bytes", len(got), len(payload))
+	}
+	// Truncated input surfaces the read error, not a silent short buffer.
+	if _, err := readFullGrowing(bytes.NewReader(payload[:10]), nil, 3000, lim); err == nil {
+		t.Error("truncated stream did not error")
+	}
+}
+
 // TestDecodeLimitedTightens verifies explicit limits override the
 // defaults: a stream the default limits accept fails a tightened cap,
 // and zero-valued fields keep their defaults.
