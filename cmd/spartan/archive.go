@@ -10,11 +10,14 @@ import (
 	"repro"
 )
 
-// archiveMagic mirrors internal/archive's stream magic for auto-detection.
-const archiveMagic = "SPARC1\n"
+// Archive magics mirrored from internal/archive for auto-detection.
+const (
+	archiveMagicV1 = "SPARC1\n"
+	archiveMagicV2 = "SPARC2\n"
+)
 
-// readCompressedFile decompresses either a single-stream file or a block
-// archive, detected by magic.
+// readCompressedFile decompresses either a single-stream file or a
+// segmented archive (v1 or v2), detected by magic.
 func readCompressedFile(path string) (*spartan.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -22,42 +25,49 @@ func readCompressedFile(path string) (*spartan.Table, error) {
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	head, err := br.Peek(len(archiveMagic))
+	head, err := br.Peek(len(archiveMagicV2))
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	if bytes.Equal(head, []byte(archiveMagic)) {
+	if bytes.Equal(head, []byte(archiveMagicV1)) || bytes.Equal(head, []byte(archiveMagicV2)) {
 		return spartan.ReadArchive(br)
 	}
 	return spartan.Decompress(br)
 }
 
-// writeBlocks slices t into blockRows-sized row blocks and writes an
-// archive.
-func writeBlocks(w io.Writer, t *spartan.Table, opts spartan.Options, blockRows int) error {
-	aw, err := spartan.NewArchiveWriter(w, opts)
+// openArchiveFile opens path as a seekable v2 archive, or returns
+// (nil, nil, nil) when the file is not a v2 archive so the caller can
+// fall back to whole-stream decompression. The caller closes the file
+// while the archive is in use.
+func openArchiveFile(path string) (*spartan.Archive, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]byte, len(archiveMagicV2))
+	if _, err := io.ReadFull(f, head); err != nil || !bytes.Equal(head, []byte(archiveMagicV2)) {
+		f.Close()
+		return nil, nil, nil
+	}
+	a, err := spartan.OpenArchive(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return a, f, nil
+}
+
+// writeSegmented compresses t into a segmented archive, reporting
+// per-segment and total statistics on stderr.
+func writeSegmented(w io.Writer, t *spartan.Table, opts spartan.Options, seg spartan.SegmentOptions) error {
+	stats, err := spartan.CompressArchive(w, t, opts, seg)
 	if err != nil {
 		return err
 	}
-	for lo := 0; lo < t.NumRows(); lo += blockRows {
-		hi := lo + blockRows
-		if hi > t.NumRows() {
-			hi = t.NumRows()
-		}
-		rows := make([]int, 0, hi-lo)
-		for r := lo; r < hi; r++ {
-			rows = append(rows, r)
-		}
-		block, err := t.SelectRows(rows)
-		if err != nil {
-			return err
-		}
-		stats, err := aw.WriteBlock(block)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "block %d: %d rows, ratio %.4f\n",
-			aw.Blocks(), block.NumRows(), stats.Ratio)
+	for i, s := range stats.PerSegment {
+		fmt.Fprintf(os.Stderr, "segment %d: ratio %.4f (%d outliers)\n", i, s.Ratio, s.Outliers)
 	}
-	return aw.Close()
+	fmt.Fprintf(os.Stderr, "archive: %d segments, %d rows, %d B (ratio %.4f)\n",
+		stats.Segments, stats.Rows, stats.CompressedBytes, stats.Ratio)
+	return nil
 }

@@ -101,7 +101,9 @@ func cmdCompress(args []string) error {
 	out := fs.String("out", "", "output compressed file")
 	quiet := fs.Bool("q", false, "suppress the statistics report")
 	trace := fs.Bool("trace", false, "print the per-phase pipeline span tree (paper §4.2 running-time breakdown)")
-	blockRows := fs.Int("block-rows", 0, "write a block archive with this many rows per block (0 = single stream)")
+	segRows := fs.Int("segment-rows", 0, "write a segmented archive with this many rows per segment (0 = single stream)")
+	blockRows := fs.Int("block-rows", 0, "deprecated synonym for -segment-rows")
+	workers := fs.Int("workers", 0, "segments compressed concurrently (0 = GOMAXPROCS; output bytes are identical at any setting)")
 	forceCat := fs.String("categorical", "", "comma-separated CSV columns to force categorical (numeric-looking codes)")
 	tol, catTol, sample, sel, theta, noRowAgg, seed := compressionFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -138,14 +140,18 @@ func cmdCompress(args []string) error {
 	}
 	defer f.Close()
 	start := time.Now()
-	if *blockRows > 0 {
-		if err := writeBlocks(f, t, opts, *blockRows); err != nil {
+	if *segRows == 0 {
+		*segRows = *blockRows
+	}
+	if *segRows > 0 {
+		seg := spartan.SegmentOptions{SegmentRows: *segRows, Workers: *workers}
+		if err := writeSegmented(f, t, opts, seg); err != nil {
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		// Block mode reuses one trace: the tree shows every block's spans.
+		// Segment mode reuses one trace: the tree shows every segment's spans.
 		tr.WriteTree(os.Stdout)
 		return nil
 	}

@@ -46,22 +46,47 @@ func cmdQuery(args []string) error {
 		return fmt.Errorf("query: unknown aggregate %q", *agg)
 	}
 
-	t, err := readCompressedFile(*in)
-	if err != nil {
+	var res *spartan.QueryResult
+	if a, f, err := openArchiveFile(*in); err != nil {
 		return err
-	}
-	pred, err := spartan.ParsePredicate(*where, t.Schema())
-	if err != nil {
-		return err
-	}
-	res, err := spartan.RunQuery(t, spartan.UniformTolerances(t, *tol, *catTol), spartan.Query{
-		Agg:     aggKind,
-		Column:  *col,
-		Where:   pred,
-		GroupBy: *groupBy,
-	})
-	if err != nil {
-		return err
+	} else if a != nil {
+		// Segmented v2 archive: query through the footer so zone maps can
+		// skip segments the predicate refutes before any decoding.
+		defer f.Close()
+		pred, err := spartan.ParsePredicate(*where, a.Schema())
+		if err != nil {
+			return err
+		}
+		var qs *spartan.ArchiveQueryStats
+		res, qs, err = spartan.QueryArchive(a, spartan.UniformTolerancesSchema(a.Schema(), *tol, *catTol), spartan.Query{
+			Agg:     aggKind,
+			Column:  *col,
+			Where:   pred,
+			GroupBy: *groupBy,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("segments: %d decoded, %d pruned (%d of %d rows skipped)\n",
+			qs.Decoded, qs.Pruned, qs.RowsPruned, qs.RowsPruned+qs.RowsDecoded)
+	} else {
+		t, err := readCompressedFile(*in)
+		if err != nil {
+			return err
+		}
+		pred, err := spartan.ParsePredicate(*where, t.Schema())
+		if err != nil {
+			return err
+		}
+		res, err = spartan.RunQuery(t, spartan.UniformTolerances(t, *tol, *catTol), spartan.Query{
+			Agg:     aggKind,
+			Column:  *col,
+			Where:   pred,
+			GroupBy: *groupBy,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	label := strings.ToUpper(*agg)
 	if *col != "" {

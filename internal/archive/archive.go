@@ -1,60 +1,112 @@
-// Package archive provides a multi-block container for SPARTAN streams,
-// so tables far larger than memory compress in bounded space: rows arrive
-// in blocks, each block is independently semantically compressed (its own
-// sample, models and outliers), and decompression concatenates blocks.
+// Package archive provides a segmented ("row-group") container for
+// SPARTAN streams, so tables far larger than memory compress in bounded
+// space and decode with seek-and-prune access: rows arrive in segments,
+// each segment is independently semantically compressed (its own sample,
+// models and outliers), and the archive ends in a footer of per-segment
+// metadata — byte offset, length, row count and per-column zone maps —
+// that lets readers skip segments a predicate provably excludes without
+// touching their bodies.
 //
-// Format: magic, then for each block a uvarint byte length followed by a
-// standard codec stream; a zero length terminates the archive. All blocks
-// must share one schema (attribute names and kinds); categorical
-// dictionaries may differ per block and are re-unified on read.
+// Format v2 ("SPARC2\n"): magic, then for each segment a uvarint byte
+// length followed by a standard codec stream; a zero length terminates
+// the segment region; then the footer and a fixed-size trailer (see
+// docs/FORMAT.md). The body framing is identical to format v1
+// ("SPARC1\n"), which had no footer, so the streaming Reader accepts
+// both versions. All segments must share one schema (attribute names and
+// kinds); categorical dictionaries may differ per segment and are
+// re-unified on read.
 package archive
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/table"
 )
 
-const magic = "SPARC1\n"
+const (
+	magicV1 = "SPARC1\n"
+	magicV2 = "SPARC2\n"
+)
 
-// Writer appends independently compressed blocks to an archive stream.
+// maxArchiveBytes caps every wire-declared byte extent (1 TiB): an
+// offset or length past it is a lie, and bounding the values up front
+// keeps later arithmetic on them overflow-free.
+const maxArchiveBytes = 1 << 40
+
+// ErrEmptyArchive is returned when reading a structurally valid archive
+// that contains zero segments. Writing one is legal (NewWriter + Close,
+// or WriteTable on a zero-row table), but no schema was ever recorded,
+// so no table can be reconstructed; callers that accept empty archives
+// must test for this error with errors.Is.
+var ErrEmptyArchive = errors.New("archive: empty archive (no segments)")
+
+// FramingError reports a segment whose codec stream did not fill its
+// declared frame length. The trailing slack would desync every later
+// frame in a streaming read, so the mismatch is fatal rather than
+// skippable.
+type FramingError struct {
+	Segment  int   // zero-based segment index
+	Declared int64 // frame length from the uvarint prefix
+	Consumed int64 // bytes the codec stream actually occupied
+}
+
+func (e *FramingError) Error() string {
+	return fmt.Sprintf("archive: segment %d: codec stream ends after %d of %d declared bytes",
+		e.Segment, e.Consumed, e.Declared)
+}
+
+// Writer appends independently compressed segments to a v2 archive
+// stream, accumulating the footer's per-segment metadata as it goes.
+//
+// The first write error latches: a frame torn mid-write leaves the
+// stream structurally corrupt, so every later WriteBlock and Close
+// refuses with the original error instead of appending to garbage.
 type Writer struct {
 	w      *bufio.Writer
 	opts   core.Options
 	schema table.Schema
+	segs   []SegmentInfo
+	off    int64 // stream offset where the next frame's prefix lands
 	blocks int
+	total  int64 // final archive size, set by Close
+	err    error // first write error; sticky
 	closed bool
 }
 
-// NewWriter starts an archive on w. The options apply to every block;
-// quantile-form tolerances are resolved per block against that block's
-// value ranges, so prefer absolute tolerances for cross-block consistency.
+// NewWriter starts an archive on w. The options apply to every segment;
+// quantile-form tolerances are resolved per segment against that
+// segment's value ranges, so prefer absolute tolerances for
+// cross-segment consistency.
 func NewWriter(w io.Writer, opts core.Options) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	if _, err := bw.WriteString(magicV2); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw, opts: opts}, nil
+	return &Writer{w: bw, opts: opts, off: int64(len(magicV2))}, nil
 }
 
-// WriteBlock compresses one block of rows. Every block must carry the
-// same schema.
+// WriteBlock compresses one segment of rows. Every segment must carry
+// the same schema.
 func (aw *Writer) WriteBlock(t *table.Table) (*core.Stats, error) {
+	if aw.err != nil {
+		return nil, aw.err
+	}
 	if aw.closed {
 		return nil, fmt.Errorf("archive: writer is closed")
 	}
-	if aw.schema == nil {
-		aw.schema = t.Schema().Clone()
-	} else if err := sameSchema(aw.schema, t.Schema()); err != nil {
+	if err := aw.noteSchema(t.Schema()); err != nil {
 		return nil, err
 	}
-	// Vary the sampling seed per block so pathological block orderings
+	// Vary the sampling seed per segment so pathological segment orderings
 	// don't resample identical row offsets; determinism is preserved.
 	opts := aw.opts
 	if opts.Seed == 0 {
@@ -65,33 +117,107 @@ func (aw *Writer) WriteBlock(t *table.Table) (*core.Stats, error) {
 	var block countBuffer
 	stats, err := core.Compress(&block, t, opts)
 	if err != nil {
+		return nil, err // nothing reached the stream; the writer stays usable
+	}
+	zones, err := computeZones(t, aw.opts.Tolerances)
+	if err != nil {
 		return nil, err
 	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(block.data)))
-	if _, err := aw.w.Write(lenBuf[:n]); err != nil {
+	if err := aw.appendFrame(block.data, t.NumRows(), zones); err != nil {
 		return nil, err
 	}
-	if _, err := aw.w.Write(block.data); err != nil {
-		return nil, err
-	}
-	aw.blocks++
 	return stats, nil
 }
 
-// Blocks returns how many blocks have been written.
-func (aw *Writer) Blocks() int { return aw.blocks }
-
-// Close writes the terminator and flushes. The writer cannot be reused.
-func (aw *Writer) Close() error {
-	if aw.closed {
+// noteSchema records the archive schema from the first segment and
+// rejects drift on later ones.
+func (aw *Writer) noteSchema(s table.Schema) error {
+	if aw.schema == nil {
+		aw.schema = s.Clone()
 		return nil
 	}
+	return sameSchema(aw.schema, s)
+}
+
+// appendFrame writes one length-prefixed frame and records its footer
+// entry. Any write failure latches into aw.err: the length prefix may
+// already be on the wire, so the stream is unrecoverable.
+func (aw *Writer) appendFrame(frame []byte, rows int, zones []ZoneMap) error {
+	if aw.err != nil {
+		return aw.err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(frame)))
+	if _, err := aw.w.Write(lenBuf[:n]); err != nil {
+		aw.err = fmt.Errorf("archive: writing frame prefix: %w", err)
+		return aw.err
+	}
+	if _, err := aw.w.Write(frame); err != nil {
+		aw.err = fmt.Errorf("archive: writing frame: %w", err)
+		return aw.err
+	}
+	aw.segs = append(aw.segs, SegmentInfo{
+		Offset: aw.off + int64(n),
+		Length: int64(len(frame)),
+		Rows:   rows,
+		Zones:  zones,
+	})
+	aw.off += int64(n) + int64(len(frame))
+	aw.blocks++
+	return nil
+}
+
+// Blocks returns how many segments have been written.
+func (aw *Writer) Blocks() int { return aw.blocks }
+
+// Close writes the terminator, footer and trailer, then flushes. The
+// writer cannot be reused. After a latched write error Close performs no
+// further writes and surfaces that error instead.
+func (aw *Writer) Close() error {
+	if aw.closed {
+		return aw.err
+	}
 	aw.closed = true
+	if aw.err != nil {
+		return aw.err
+	}
 	if err := aw.w.WriteByte(0); err != nil { // uvarint(0) terminator
+		aw.err = err
 		return err
 	}
-	return aw.w.Flush()
+	// Serialize the footer to memory first: the trailer needs its CRC and
+	// length, and a footer encoding error must not leave a partial footer
+	// on the wire.
+	var fbuf bytes.Buffer
+	fbw := bufio.NewWriter(&fbuf)
+	if err := writeFooter(fbw, aw.schema, aw.segs); err != nil {
+		aw.err = err
+		return err
+	}
+	if err := fbw.Flush(); err != nil {
+		aw.err = err
+		return err
+	}
+	foot := fbuf.Bytes()
+	trailer, err := makeTrailer(foot)
+	if err != nil {
+		aw.err = err
+		return err
+	}
+	if _, err := aw.w.Write(foot); err != nil {
+		aw.err = err
+		return err
+	}
+	if _, err := aw.w.Write(trailer[:]); err != nil {
+		aw.err = err
+		return err
+	}
+	if err := aw.w.Flush(); err != nil {
+		aw.err = err
+		return err
+	}
+	aw.total = aw.off + 1 + int64(len(foot)) + int64(len(trailer))
+	return nil
 }
 
 type countBuffer struct{ data []byte }
@@ -103,79 +229,180 @@ func (b *countBuffer) Write(p []byte) (int, error) {
 
 func sameSchema(a, b table.Schema) error {
 	if len(a) != len(b) {
-		return fmt.Errorf("archive: block has %d attributes, archive has %d", len(b), len(a))
+		return fmt.Errorf("archive: segment has %d attributes, archive has %d", len(b), len(a))
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return fmt.Errorf("archive: block attribute %d is %v, archive has %v", i, b[i], a[i])
+			return fmt.Errorf("archive: segment attribute %d is %v, archive has %v", i, b[i], a[i])
 		}
 	}
 	return nil
 }
 
-// Reader iterates the blocks of an archive.
+// Reader iterates the segments of an archive as a forward-only stream.
+// It accepts both format versions: v1 has no footer, and a v2 footer
+// simply follows the terminator the reader stops at.
 type Reader struct {
 	r      *bufio.Reader
+	lim    codec.DecodeLimits
 	schema table.Schema
+	read   int // frames consumed so far
 	done   bool
 }
 
-// NewReader opens an archive stream.
+// NewReader opens an archive stream with default decode limits.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderLimited(r, codec.DecodeLimits{})
+}
+
+// NewReaderLimited is NewReader with explicit codec decode limits, which
+// every segment decode applies.
+func NewReaderLimited(r io.Reader, lim codec.DecodeLimits) (*Reader, error) {
 	br := bufio.NewReader(r)
-	got := make([]byte, len(magic))
+	got := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("archive: reading magic: %w", err)
 	}
-	if string(got) != magic {
+	if string(got) != magicV1 && string(got) != magicV2 {
 		return nil, fmt.Errorf("archive: bad magic %q", got)
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, lim: lim}, nil
 }
 
-// Next decompresses the next block, or returns io.EOF after the
-// terminator.
-func (ar *Reader) Next() (*table.Table, error) {
+// NextFrame returns the next segment's raw compressed bytes, or io.EOF
+// after the terminator.
+func (ar *Reader) NextFrame() ([]byte, error) {
 	if ar.done {
 		return nil, io.EOF
 	}
-	blockLen, err := binary.ReadUvarint(ar.r)
+	frameLen, err := binary.ReadUvarint(ar.r)
 	if err != nil {
-		return nil, fmt.Errorf("archive: reading block length: %w", err)
+		return nil, fmt.Errorf("archive: reading segment length: %w", err)
 	}
-	if blockLen == 0 {
+	if frameLen == 0 {
 		ar.done = true
 		return nil, io.EOF
 	}
-	if blockLen > math.MaxInt64 {
-		return nil, fmt.Errorf("archive: implausible block length %d", blockLen)
-	}
-	t, err := codec.Decode(io.LimitReader(ar.r, int64(blockLen)))
+	frame, err := readFrameBytes(ar.r, frameLen)
 	if err != nil {
-		return nil, fmt.Errorf("archive: decoding block: %w", err)
+		return nil, fmt.Errorf("archive: reading segment %d: %w", ar.read, err)
 	}
-	if ar.schema == nil {
-		ar.schema = t.Schema().Clone()
-	} else if err := sameSchema(ar.schema, t.Schema()); err != nil {
+	ar.read++
+	return frame, nil
+}
+
+// Next decompresses the next segment, or returns io.EOF after the
+// terminator. A frame whose codec stream is shorter than its declared
+// length fails with *FramingError.
+func (ar *Reader) Next() (*table.Table, error) {
+	frame, err := ar.NextFrame()
+	if err != nil {
+		return nil, err
+	}
+	t, err := decodeFrame(frame, ar.read-1, ar.lim)
+	if err != nil {
+		return nil, err
+	}
+	if err := ar.noteSchema(t.Schema()); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// ReadAll decompresses every block and concatenates the rows in block
-// order (categorical dictionaries are re-unified).
-func ReadAll(r io.Reader) (*table.Table, error) {
-	ar, err := NewReader(r)
-	if err != nil {
-		return nil, err
+func (ar *Reader) noteSchema(s table.Schema) error {
+	if ar.schema == nil {
+		ar.schema = s.Clone()
+		return nil
 	}
+	return sameSchema(ar.schema, s)
+}
+
+// decodeFrame decodes one in-memory frame and verifies the codec stream
+// fills it exactly: a shorter stream means trailing garbage inside the
+// frame (the drain-and-count framing check).
+func decodeFrame(frame []byte, idx int, lim codec.DecodeLimits) (*table.Table, error) {
+	t, consumed, err := codec.DecodeCounted(bytes.NewReader(frame), lim)
+	if err != nil {
+		return nil, fmt.Errorf("archive: decoding segment %d: %w", idx, err)
+	}
+	if consumed < int64(len(frame)) {
+		return nil, &FramingError{Segment: idx, Declared: int64(len(frame)), Consumed: consumed}
+	}
+	return t, nil
+}
+
+// readFrameBytes reads exactly n frame bytes, growing the buffer in
+// bounded chunks so a lying length prefix cannot force a huge upfront
+// allocation: a truncated stream fails after at most one chunk of slack.
+func readFrameBytes(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n > maxArchiveBytes {
+		return nil, fmt.Errorf("implausible segment length %d", n)
+	}
+	dst := make([]byte, 0, minInt(int(n), chunk))
+	for uint64(len(dst)) < n {
+		want := n - uint64(len(dst))
+		if want > chunk {
+			want = chunk
+		}
+		start := len(dst)
+		dst = append(dst, make([]byte, want)...)
+		if _, err := io.ReadFull(r, dst[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// decodeFrames decodes every frame concurrently and in order. The
+// semaphore caps live goroutines at GOMAXPROCS: each decode holds a
+// whole decompressed segment, so one goroutine per frame on a
+// thousand-segment archive would hold the entire table at once.
+func decodeFrames(frames [][]byte, lim codec.DecodeLimits) ([]*table.Table, error) {
+	tables := make([]*table.Table, len(frames))
+	errs := make([]error, len(frames))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range frames {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tables[i], errs[i] = decodeFrame(frames[i], i, lim)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}
+
+// mergeTables concatenates the rows of equal-schema tables in order,
+// re-unifying categorical dictionaries.
+func mergeTables(tables []*table.Table) (*table.Table, error) {
 	var builder *table.Builder
-	appendBlock := func(t *table.Table) error {
+	var schema table.Schema
+	for _, t := range tables {
 		if builder == nil {
-			builder, err = table.NewBuilder(t.Schema())
+			schema = t.Schema().Clone()
+			var err error
+			builder, err = table.NewBuilder(schema)
 			if err != nil {
-				return err
+				return nil, err
 			}
+		} else if err := sameSchema(schema, t.Schema()); err != nil {
+			return nil, err
 		}
 		row := make([]any, t.NumCols())
 		for r := 0; r < t.NumRows(); r++ {
@@ -187,25 +414,43 @@ func ReadAll(r io.Reader) (*table.Table, error) {
 				}
 			}
 			if err := builder.AppendRow(row...); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
 	}
+	if builder == nil {
+		return nil, ErrEmptyArchive
+	}
+	return builder.Build()
+}
+
+// ReadAll decompresses every segment (concurrently, bounded at
+// GOMAXPROCS) and concatenates the rows in segment order. A structurally
+// valid archive with zero segments returns ErrEmptyArchive.
+func ReadAll(r io.Reader) (*table.Table, error) {
+	return ReadAllLimited(r, codec.DecodeLimits{})
+}
+
+// ReadAllLimited is ReadAll with explicit codec decode limits.
+func ReadAllLimited(r io.Reader, lim codec.DecodeLimits) (*table.Table, error) {
+	ar, err := NewReaderLimited(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	var frames [][]byte
 	for {
-		t, err := ar.Next()
+		frame, err := ar.NextFrame()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		if err := appendBlock(t); err != nil {
-			return nil, err
-		}
+		frames = append(frames, frame)
 	}
-	if builder == nil {
-		return nil, fmt.Errorf("archive: no blocks")
+	tables, err := decodeFrames(frames, lim)
+	if err != nil {
+		return nil, err
 	}
-	return builder.Build()
+	return mergeTables(tables)
 }

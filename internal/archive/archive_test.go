@@ -174,7 +174,7 @@ func TestArchiveErrors(t *testing.T) {
 	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
 		t.Error("NewReader accepted bad magic")
 	}
-	if _, err := ReadAll(bytes.NewReader([]byte(magic))); err == nil {
+	if _, err := ReadAll(bytes.NewReader([]byte(magicV2))); err == nil {
 		t.Error("ReadAll accepted missing terminator")
 	}
 	// Empty archive (just terminator): no blocks is an error for ReadAll.

@@ -4,16 +4,18 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datagen"
 )
 
-// FuzzDecodeArchive asserts the archive reader never panics on corrupted
+// FuzzDecodeArchive asserts the archive readers never panic on corrupted
 // bytes: every input must either decode to a valid table or fail with an
-// error. Run with `go test -fuzz=FuzzDecodeArchive ./internal/archive`
+// error, through both the streaming reader and the footer-driven seek
+// reader. Run with `go test -fuzz=FuzzDecodeArchive ./internal/archive`
 // for real fuzzing; the seed corpus runs as a normal test.
 func FuzzDecodeArchive(f *testing.F) {
-	// Seed with a valid two-block archive plus targeted corruptions.
+	// Seed with a valid two-segment v2 archive plus targeted corruptions.
 	tb := datagen.CDR(600, 1)
 	var buf bytes.Buffer
 	aw, err := NewWriter(&buf, core.Options{})
@@ -40,21 +42,57 @@ func FuzzDecodeArchive(f *testing.F) {
 
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add([]byte(magic))               // header only, no terminator
-	f.Add(valid[:len(valid)/2])        // truncated mid-block
-	f.Add(valid[:len(valid)-1])        // missing terminator byte
+	f.Add([]byte(magicV2))             // header only: no terminator, no footer
+	f.Add([]byte(magicV1))             // v1 header only
+	f.Add(valid[:len(valid)/2])        // truncated mid-segment-body
 	f.Add(append([]byte(nil), 'X', 0)) // wrong magic
-	flipped := append([]byte(nil), valid...)
-	flipped[len(magic)] ^= 0xFF // corrupt the first block-length varint
-	f.Add(flipped)
+	// Truncated mid-length-prefix: segment frames are KBs, so the first
+	// length uvarint spans several bytes; cut after its first byte.
+	f.Add(valid[:len(magicV2)+1])
+	// Truncated mid-footer: keep the terminator and part of the footer
+	// but drop the trailer and the footer's tail.
+	f.Add(valid[: len(valid)-trailerSize-3 : len(valid)-trailerSize-3])
+	// Truncated mid-trailer.
+	f.Add(valid[:len(valid)-trailerSize/2])
+	flippedLen := append([]byte(nil), valid...)
+	flippedLen[len(magicV2)] ^= 0xFF // corrupt the first segment-length varint
+	f.Add(flippedLen)
 	mutated := append([]byte(nil), valid...)
-	mutated[len(mutated)/2] ^= 0xFF // corrupt block payload
+	mutated[len(mutated)/2] ^= 0xFF // corrupt segment payload or footer
 	f.Add(mutated)
+	badTrailer := append([]byte(nil), valid...)
+	badTrailer[len(badTrailer)-trailerSize+2] ^= 0xFF // corrupt declared footer length
+	f.Add(badTrailer)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-trailerSize] ^= 0xFF // corrupt the footer checksum
+	f.Add(badCRC)
+
+	// Tight limits: no corrupted input may allocate past these, and a
+	// valid archive that fits them must still decode.
+	lim := codec.DecodeLimits{
+		MaxRows:        1 << 12,
+		MaxCols:        64,
+		MaxDictEntries: 1 << 12,
+		MaxModelBytes:  1 << 22,
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tbl, err := ReadAll(bytes.NewReader(data))
 		if err == nil && tbl == nil {
 			t.Error("ReadAll returned nil table without error")
+		}
+		tbl, err = ReadAllLimited(bytes.NewReader(data), lim)
+		if err == nil && tbl == nil {
+			t.Error("ReadAllLimited returned nil table without error")
+		}
+		sr, err := OpenSegmentedLimited(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		for i := 0; i < sr.NumSegments(); i++ {
+			if tbl, err := sr.Segment(i); err == nil && tbl == nil {
+				t.Errorf("Segment(%d) returned nil table without error", i)
+			}
 		}
 	})
 }

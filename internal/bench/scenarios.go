@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/archive"
 	"repro/internal/bayesnet"
 	"repro/internal/cart"
 	"repro/internal/core"
@@ -22,6 +23,8 @@ import (
 // DependencyFinder, then the full-table passes).
 var scenarios = []scenario{
 	{name: "compress/cdr", setup: setupCompress},
+	{name: "compress/segmented_serial", setup: setupSegmented(1)},
+	{name: "compress/segmented_parallel", setup: setupSegmented(0)},
 	{name: "decompress/cdr", setup: setupDecompress},
 	{name: "query/aggregate", setup: setupQuery},
 	{name: "micro/bayesnet_build", setup: setupBayesNet},
@@ -58,6 +61,29 @@ func setupCompress(cfg Config) (func(*opStats) error, error) {
 		st.rows, st.bytes, st.ratio, st.trace = t.NumRows(), raw, stats.Ratio, tr
 		return nil
 	}, nil
+}
+
+// setupSegmented builds a segmented-archive compression scenario with a
+// fixed worker count: 1 isolates the serial row-group cost, 0 (=
+// GOMAXPROCS) exercises the parallel pipeline on the same input. The
+// output bytes are identical at either setting, so any delta between the
+// two scenarios is pure scheduling.
+func setupSegmented(workers int) func(Config) (func(*opStats) error, error) {
+	return func(cfg Config) (func(*opStats) error, error) {
+		t := datagen.CDR(cfg.Rows, cfg.Seed)
+		raw := t.RawSizeBytes()
+		opts := core.Options{Tolerances: table.UniformTolerances(t, 0.01, 0)}
+		seg := archive.SegmentOptions{SegmentRows: (t.NumRows() + 3) / 4, Workers: workers}
+		return func(st *opStats) error {
+			var w countingWriter
+			stats, err := archive.WriteTable(&w, t, opts, seg)
+			if err != nil {
+				return err
+			}
+			st.rows, st.bytes, st.ratio = t.NumRows(), raw, stats.Ratio
+			return nil
+		}, nil
+	}
 }
 
 // setupDecompress times archive decode: the read path every query and

@@ -197,6 +197,11 @@ type DecodeLimits struct {
 	MaxUnverifiedRows uint64
 }
 
+// WithDefaults returns the limits with zero fields replaced by their
+// documented defaults, for callers outside the codec (e.g. the archive
+// footer parser) that bound their own allocations by the same caps.
+func (l DecodeLimits) WithDefaults() DecodeLimits { return l.withDefaults() }
+
 func (l DecodeLimits) withDefaults() DecodeLimits {
 	if l.MaxRows == 0 {
 		l.MaxRows = 1 << 34
@@ -234,8 +239,36 @@ func Decode(r io.Reader) (*table.Table, error) {
 // limits allow — or more rows than their T' payload could possibly
 // deliver — fail early with a descriptive error instead of allocating.
 func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
+	return decode(bufio.NewReader(r), lim)
+}
+
+// DecodeCounted is DecodeLimited that additionally reports how many
+// bytes of r the stream logically occupied — read-ahead the decoder
+// buffered but never interpreted is excluded. Framed containers use the
+// count to verify a stream fills its declared length exactly: a shorter
+// stream means the frame carries trailing bytes that would desync every
+// later frame.
+func DecodeCounted(r io.Reader, lim DecodeLimits) (*table.Table, int64, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	t, err := decode(br, lim)
+	return t, cr.n - int64(br.Buffered()), err
+}
+
+// countingReader counts the bytes drawn from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func decode(br *bufio.Reader, lim DecodeLimits) (*table.Table, error) {
 	lim = lim.withDefaults()
-	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("codec: reading magic: %w", err)
@@ -373,6 +406,18 @@ func DecodeLimited(r io.Reader, lim DecodeLimits) (*table.Table, error) {
 		if err := readColumn(zbr, cols[a], nrows); err != nil {
 			return nil, fmt.Errorf("codec: reading column %d: %w", a, err)
 		}
+	}
+	// The T' block must end exactly where its columns do. Reading one more
+	// byte forces gzip through its trailer (the columns alone can be
+	// satisfied from buffered output), so the full declared tpLen is
+	// consumed from the stream; any residue means the declared length and
+	// the payload disagree — a corrupt or hostile frame that would
+	// otherwise silently desync callers framing streams back to back.
+	if _, err := zbr.ReadByte(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("codec: trailing data in T' block")
+		}
+		return nil, fmt.Errorf("codec: draining T' block: %w", err)
 	}
 
 	// Routing table: placeholder predicted columns so PredictRow can walk

@@ -96,6 +96,11 @@ type Options struct {
 	// Seed fixes all sampling randomness; zero means seed 1. Compression
 	// is fully deterministic for a given (table, options) pair.
 	Seed int64
+	// ScanWorkers bounds the outlier scan's concurrency; zero selects
+	// GOMAXPROCS. Segmented archive writers set 1 so segment-level
+	// parallelism is not multiplied by per-segment scan parallelism.
+	// The setting affects scheduling only, never output bytes.
+	ScanWorkers int
 	// Trace, when non-nil, receives one span per pipeline component
 	// (see PhaseSpans) under a SpanCompress root, annotated with rows
 	// scanned, CaRTs built, outliers found and bytes written. Tracing is
@@ -303,7 +308,11 @@ func CompressContext(ctx context.Context, w io.Writer, t *table.Table, opts Opti
 		// scan checks ctx between row batches.
 		scanErrs := make([]error, len(plan.Predicted))
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		workers := runtime.GOMAXPROCS(0)
+		if opts.ScanWorkers > 0 {
+			workers = opts.ScanWorkers
+		}
+		sem := make(chan struct{}, workers)
 		for i, a := range plan.Predicted {
 			wg.Add(1)
 			sem <- struct{}{}

@@ -106,9 +106,47 @@ type Predicate interface {
 }
 
 type evalCtx struct {
-	t    *table.Table
-	tol  map[string]float64 // resolved tolerance per attribute name
-	cols map[string]int     // name -> column index
+	t     *table.Table
+	tol   map[string]float64 // resolved tolerance per attribute name
+	cols  map[string]int     // name -> column index
+	scope *Scope             // nil when t is the whole dataset
+}
+
+// totalRows is the dataset-wide row count flip budgets scale with: the
+// scope's when t is a pruned subset, t's own otherwise.
+func (c *evalCtx) totalRows() int {
+	if c.scope != nil && c.scope.TotalRows > 0 {
+		return c.scope.TotalRows
+	}
+	return c.t.NumRows()
+}
+
+// colBounds returns the dataset-wide value bounds of a numeric column:
+// the scope's when present, the observed column min/max otherwise.
+func (c *evalCtx) colBounds(column string) (lo, hi float64) {
+	if c.scope != nil {
+		if b, ok := c.scope.Ranges[column]; ok {
+			return b[0], b[1]
+		}
+	}
+	return c.t.Col(c.cols[column]).MinMax()
+}
+
+// Scope widens a query's frame of reference beyond the rows of the table
+// it runs on. When the table is a pruned subset of a larger archive,
+// soundness demands that quantile tolerances, categorical flip budgets
+// and flip-extreme contributions be taken from the whole archive — the
+// surviving rows' narrower ranges and smaller count would understate
+// the error bounds.
+type Scope struct {
+	// TotalRows is the archive-wide row count for categorical flip
+	// budgets; zero falls back to the table's own row count.
+	TotalRows int
+	// Ranges maps numeric attribute names to archive-wide [lo, hi] value
+	// bounds, used to resolve quantile tolerances and to bound what a
+	// flipped-in row could contribute. Attributes absent from the map
+	// fall back to the table's observed range.
+	Ranges map[string][2]float64
 }
 
 // NumCmp compares a numeric attribute against a constant.
@@ -309,17 +347,27 @@ type Result struct {
 // the tolerance vector it was compressed under. A nil Where matches all
 // rows. Tolerances in quantile form are resolved against t.
 func Run(t *table.Table, tol table.Tolerances, q Query) (*Result, error) {
+	return RunScoped(t, tol, q, nil)
+}
+
+// RunScoped is Run with an explicit dataset scope: when t is a pruned
+// subset of a larger dataset (zone-map-refuted archive segments were
+// skipped), scope supplies the dataset-wide row count and value ranges
+// so the returned intervals still bound the answer the whole original
+// dataset would give. A nil scope behaves exactly like Run.
+func RunScoped(t *table.Table, tol table.Tolerances, q Query, scope *Scope) (*Result, error) {
 	if tol == nil {
 		tol = table.ZeroTolerances(t)
 	}
-	resolved, err := tol.Resolve(t)
+	resolved, err := resolveScoped(t, tol, scope)
 	if err != nil {
 		return nil, err
 	}
 	ctx := &evalCtx{
-		t:    t,
-		tol:  map[string]float64{},
-		cols: map[string]int{},
+		t:     t,
+		tol:   map[string]float64{},
+		cols:  map[string]int{},
+		scope: scope,
 	}
 	for i := 0; i < t.NumCols(); i++ {
 		name := t.Attr(i).Name
@@ -388,6 +436,28 @@ func Run(t *table.Table, tol table.Tolerances, q Query) (*Result, error) {
 		res.Groups = append(res.Groups, g)
 	}
 	return res, nil
+}
+
+// resolveScoped converts quantile tolerances to absolute bounds against
+// the scope's dataset-wide ranges where known, the table's observed
+// ranges otherwise. Resolving against the widest range keeps the
+// absolute bound identical to what an unpruned run would use.
+func resolveScoped(t *table.Table, tol table.Tolerances, scope *Scope) (table.Tolerances, error) {
+	if scope == nil || scope.Ranges == nil {
+		return tol.Resolve(t)
+	}
+	ranges := make([]float64, t.NumCols())
+	for i := 0; i < t.NumCols(); i++ {
+		if t.Attr(i).Kind != table.Numeric {
+			continue
+		}
+		if b, ok := scope.Ranges[t.Attr(i).Name]; ok {
+			ranges[i] = b[1] - b[0]
+		} else {
+			ranges[i] = t.Col(i).Range()
+		}
+	}
+	return tol.ResolveRanges(t.Schema(), ranges)
 }
 
 func validate(ctx *evalCtx, q Query) error {
@@ -471,7 +541,7 @@ func flipBudget(ctx *evalCtx, q Query) int {
 		seen[name] = true
 		ci := ctx.cols[name]
 		if ctx.t.Attr(ci).Kind == table.Categorical {
-			total += int(ctx.tol[name] * float64(ctx.t.NumRows()))
+			total += int(ctx.tol[name] * float64(ctx.totalRows()))
 		}
 	}
 	if q.Where != nil {
@@ -539,12 +609,12 @@ func sumInterval(ctx *evalCtx, column string, def, unc []int, flips int, g *Grou
 		lo += math.Min(0, v-e)
 		hi += math.Max(0, v+e)
 	}
-	// Categorical flips: up to `flips` arbitrary rows of the table may
+	// Categorical flips: up to `flips` arbitrary rows of the dataset may
 	// enter, and up to `flips` definite members may leave. Bound with the
-	// table-wide extremes for additions and the most extreme definite
+	// dataset-wide extremes for additions and the most extreme definite
 	// values for removals.
 	if flips > 0 {
-		tLo, tHi := col.MinMax()
+		tLo, tHi := ctx.colBounds(column)
 		sort.Float64s(defVals)
 		for i := 0; i < flips; i++ {
 			lo += math.Min(0, tLo-e)
@@ -619,7 +689,7 @@ func extremeInterval(ctx *evalCtx, column string, def, unc []int, flips int, isM
 		}
 	}
 	if flips > 0 {
-		tLo, tHi := col.MinMax()
+		tLo, tHi := ctx.colBounds(column)
 		if isMin {
 			outward = math.Min(outward, tLo)
 		} else {

@@ -34,10 +34,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
+)
+
+// Archive magics mirrored from internal/archive so /query can sniff the
+// body format without consuming the stream.
+const (
+	archiveMagicV1 = "SPARC1\n"
+	archiveMagicV2 = "SPARC2\n"
 )
 
 // maxRequestBytes is the default request-body bound (tables and
@@ -56,6 +64,10 @@ type Server struct {
 
 	maxBodyBytes   int64
 	requestTimeout time.Duration
+	// segmentRows, when positive, makes /compress emit a segmented
+	// archive with this many rows per segment by default; requests can
+	// override it with ?segment-rows (0 restores the single stream).
+	segmentRows int
 	// pipelineSem admits at most maxConcurrent pipeline-running requests
 	// (/compress and /query); nil means unlimited. Excess requests are
 	// rejected with 429 rather than queued, so a saturated service sheds
@@ -82,7 +94,8 @@ type metrics struct {
 	rawBytes       obs.Counter   // spartan_compress_raw_bytes_total
 	outBytes       obs.Counter   // spartan_compress_compressed_bytes_total
 
-	queryLatency obs.Histogram // spartan_query_duration_seconds
+	queryLatency  obs.Histogram // spartan_query_duration_seconds
+	querySegments obs.Counter   // spartan_query_segments_total{result}
 }
 
 // Option customizes the service.
@@ -115,6 +128,17 @@ func WithMaxConcurrent(n int) Option {
 // d <= 0 (the default) means no timeout beyond the client's own.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithSegmentRows makes /compress emit segmented archives with n rows
+// per segment by default; requests override with ?segment-rows. n <= 0
+// (the default) keeps the single-stream output.
+func WithSegmentRows(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.segmentRows = n
+		}
+	}
 }
 
 // WithMaxBodyBytes bounds request bodies; larger uploads are rejected
@@ -218,6 +242,8 @@ func newMetrics(reg *obs.Registry) metrics {
 		queryLatency: reg.Histogram("spartan_query_duration_seconds",
 			"End-to-end /query pipeline duration in seconds (decode + aggregate).",
 			obs.DefBuckets),
+		querySegments: reg.Counter("spartan_query_segments_total",
+			"Archive segments seen by /query, by result (decoded, pruned).", "result"),
 	}
 }
 
@@ -255,11 +281,10 @@ func (s *Server) bodyError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusBadRequest, err)
 }
 
-// tolerancesFromQuery builds the tolerance vector from request
-// parameters: tolerance (numeric fraction of range), cat-tolerance
-// (categorical probability). The raw numeric fraction is also returned
-// for the tolerance-distribution metric.
-func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, float64, error) {
+// tolParams parses the shared tolerance request parameters: tolerance
+// (numeric fraction of range) and cat-tolerance (categorical
+// probability).
+func tolParams(r *http.Request) (numeric, cat float64, err error) {
 	parse := func(name string) (float64, error) {
 		s := r.URL.Query().Get(name)
 		if s == "" {
@@ -271,11 +296,20 @@ func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, flo
 		}
 		return v, nil
 	}
-	numeric, err := parse("tolerance")
-	if err != nil {
-		return nil, 0, err
+	if numeric, err = parse("tolerance"); err != nil {
+		return 0, 0, err
 	}
-	cat, err := parse("cat-tolerance")
+	if cat, err = parse("cat-tolerance"); err != nil {
+		return 0, 0, err
+	}
+	return numeric, cat, nil
+}
+
+// tolerancesFromQuery builds the tolerance vector from request
+// parameters. The raw numeric fraction is also returned for the
+// tolerance-distribution metric.
+func tolerancesFromQuery(r *http.Request, t *table.Table) (table.Tolerances, float64, error) {
+	numeric, cat, err := tolParams(r)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -333,6 +367,16 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	segRows := s.segmentRows
+	if v := r.URL.Query().Get("segment-rows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad segment-rows %q", v))
+			return
+		}
+		segRows = n
+	}
+
 	// Compress into memory first so errors can still become proper HTTP
 	// statuses and stats can travel as headers. The buffer is sized off
 	// the raw table: SPARTAN rarely exceeds a quarter of the input, so
@@ -342,40 +386,64 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if hint := t.RawSizeBytes() / 4; hint > 0 {
 		buf.Grow(min(hint, 64<<20))
 	}
-	stats, err := core.CompressContext(r.Context(), &buf, t, opts)
+	h := w.Header()
+	if segRows > 0 {
+		// Segmented archive: segments compress concurrently; the response
+		// is a seekable v2 archive with zone maps for pruned /query calls.
+		astats, err := archive.WriteTableContext(r.Context(), &buf, t, opts,
+			archive.SegmentOptions{SegmentRows: segRows})
+		if !s.answerCompressErr(w, err) {
+			return
+		}
+		s.m.ratio.Observe(astats.Ratio)
+		s.m.tolerance.Observe(numericTol)
+		s.m.rawBytes.Add(float64(astats.RawBytes))
+		s.m.outBytes.Add(float64(astats.CompressedBytes))
+		h.Set("X-Spartan-Raw-Bytes", strconv.Itoa(astats.RawBytes))
+		h.Set("X-Spartan-Compressed-Bytes", strconv.Itoa(astats.CompressedBytes))
+		h.Set("X-Spartan-Ratio", strconv.FormatFloat(astats.Ratio, 'f', 4, 64))
+		h.Set("X-Spartan-Segments", strconv.Itoa(astats.Segments))
+	} else {
+		stats, err := core.CompressContext(r.Context(), &buf, t, opts)
+		if !s.answerCompressErr(w, err) {
+			return
+		}
+		s.m.ratio.Observe(stats.Ratio)
+		s.m.predictedAttrs.Observe(float64(len(stats.Predicted)))
+		s.m.tolerance.Observe(numericTol)
+		s.m.rawBytes.Add(float64(stats.RawBytes))
+		s.m.outBytes.Add(float64(stats.CompressedBytes))
+		h.Set("X-Spartan-Raw-Bytes", strconv.Itoa(stats.RawBytes))
+		h.Set("X-Spartan-Compressed-Bytes", strconv.Itoa(stats.CompressedBytes))
+		h.Set("X-Spartan-Ratio", strconv.FormatFloat(stats.Ratio, 'f', 4, 64))
+		h.Set("X-Spartan-Predicted", strings.Join(stats.Predicted, ","))
+		for _, th := range timingHeaders {
+			h.Set("X-Spartan-Timing-"+th.suffix, th.get(stats.Timings).String())
+		}
+	}
+	h.Set("Content-Type", "application/x-spartan")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // client went away
+	}
+}
+
+// answerCompressErr maps a compression error to its HTTP response and
+// reports whether the handler may proceed.
+func (s *Server) answerCompressErr(w http.ResponseWriter, err error) bool {
 	switch {
 	case err == nil:
+		return true
 	case errors.Is(err, context.DeadlineExceeded):
 		// The per-request timeout cancelled the pipeline mid-flight.
 		s.m.rejected.Inc("timeout")
 		httpError(w, http.StatusServiceUnavailable, err)
-		return
 	case errors.Is(err, context.Canceled):
-		return // client went away; nothing useful to answer
+		// Client went away; nothing useful to answer.
 	default:
 		httpError(w, http.StatusUnprocessableEntity, err)
-		return
 	}
-
-	s.m.ratio.Observe(stats.Ratio)
-	s.m.predictedAttrs.Observe(float64(len(stats.Predicted)))
-	s.m.tolerance.Observe(numericTol)
-	s.m.rawBytes.Add(float64(stats.RawBytes))
-	s.m.outBytes.Add(float64(stats.CompressedBytes))
-
-	h := w.Header()
-	h.Set("Content-Type", "application/x-spartan")
-	h.Set("Content-Length", strconv.Itoa(buf.Len()))
-	h.Set("X-Spartan-Raw-Bytes", strconv.Itoa(stats.RawBytes))
-	h.Set("X-Spartan-Compressed-Bytes", strconv.Itoa(stats.CompressedBytes))
-	h.Set("X-Spartan-Ratio", strconv.FormatFloat(stats.Ratio, 'f', 4, 64))
-	h.Set("X-Spartan-Predicted", strings.Join(stats.Predicted, ","))
-	for _, th := range timingHeaders {
-		h.Set("X-Spartan-Timing-"+th.suffix, th.get(stats.Timings).String())
-	}
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		return // client went away
-	}
+	return false
 }
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
@@ -420,23 +488,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	root := tr.Start("query")
 	defer root.Finish()
 
-	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
-	decodeSpan := root.StartChild("decode")
-	t, err := core.Decompress(body)
-	decodeSpan.Finish()
-	if err != nil {
-		s.bodyError(w, err)
-		return
-	}
-	// Decompression can eat most of a tight request timeout; bail before
-	// the aggregation stage if the deadline already passed.
-	if err := r.Context().Err(); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.m.rejected.Inc("timeout")
-			httpError(w, http.StatusServiceUnavailable, err)
-		}
-		return
-	}
 	q := r.URL.Query()
 	var agg query.AggKind
 	switch strings.ToLower(q.Get("agg")) {
@@ -454,29 +505,90 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown agg %q", q.Get("agg")))
 		return
 	}
-	pred, err := query.ParsePredicate(q.Get("where"), t.Schema())
+	numTol, catTol, err := tolParams(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tol, _, err := tolerancesFromQuery(r, t)
+	spec := query.Query{Agg: agg, Column: q.Get("col"), GroupBy: q.Get("groupby")}
+
+	// The body is buffered so the container format can be sniffed by magic:
+	// a segmented v2 archive answers through its footer — zone maps refute
+	// segments before any decoding — while v1 archives and single streams
+	// decode whole.
+	body := http.MaxBytesReader(nil, r.Body, s.maxBodyBytes)
+	data, err := io.ReadAll(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.bodyError(w, err)
 		return
 	}
-	aggSpan := root.StartChild("aggregate")
-	res, err := query.Run(t, tol, query.Query{
-		Agg:     agg,
-		Column:  q.Get("col"),
-		Where:   pred,
-		GroupBy: q.Get("groupby"),
-	})
-	aggSpan.Finish()
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
-		return
+
+	var (
+		res        *query.Result
+		decodeSpan *obs.Span
+		aggSpan    *obs.Span
+	)
+	if bytes.HasPrefix(data, []byte(archiveMagicV2)) {
+		decodeSpan = root.StartChild("decode")
+		sr, err := archive.OpenSegmented(bytes.NewReader(data))
+		decodeSpan.Finish()
+		if err != nil {
+			s.bodyError(w, err)
+			return
+		}
+		if spec.Where, err = query.ParsePredicate(q.Get("where"), sr.Schema()); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		tol := table.UniformTolerancesSchema(sr.Schema(), numTol, catTol)
+		aggSpan = root.StartChild("aggregate")
+		var qs *archive.QueryStats
+		res, qs, err = sr.Query(tol, spec)
+		aggSpan.Finish()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.m.querySegments.Add(float64(qs.Decoded), "decoded")
+		s.m.querySegments.Add(float64(qs.Pruned), "pruned")
+		w.Header().Set("X-Spartan-Segments-Decoded", strconv.Itoa(qs.Decoded))
+		w.Header().Set("X-Spartan-Segments-Pruned", strconv.Itoa(qs.Pruned))
+	} else {
+		decodeSpan = root.StartChild("decode")
+		var t *table.Table
+		if bytes.HasPrefix(data, []byte(archiveMagicV1)) {
+			t, err = archive.ReadAll(bytes.NewReader(data))
+		} else {
+			t, err = core.Decompress(bytes.NewReader(data))
+		}
+		decodeSpan.Finish()
+		if err != nil {
+			s.bodyError(w, err)
+			return
+		}
+		// Decompression can eat most of a tight request timeout; bail before
+		// the aggregation stage if the deadline already passed.
+		if err := r.Context().Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.m.rejected.Inc("timeout")
+				httpError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
+		if spec.Where, err = query.ParsePredicate(q.Get("where"), t.Schema()); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		tol := table.UniformTolerances(t, numTol, catTol)
+		aggSpan = root.StartChild("aggregate")
+		res, err = query.Run(t, tol, spec)
+		aggSpan.Finish()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
 	}
-	resp := queryResponse{Agg: agg.String(), Column: q.Get("col")}
+	resp := queryResponse{Agg: agg.String(), Column: spec.Column}
 	for _, g := range res.Groups {
 		dto := queryGroupDTO{Key: g.Key, Rows: g.Rows, Uncertain: g.UncertainRows}
 		if !math.IsNaN(g.Value) {

@@ -223,6 +223,96 @@ func TestPhaseMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestSegmentedCompressAndQuery: /compress?segment-rows= yields a v2
+// archive, and /query answers it through the footer, pruning zone-map
+// refuted segments without decoding them (visible in headers and the
+// spartan_query_segments_total counter).
+func TestSegmentedCompressAndQuery(t *testing.T) {
+	srv := testServer(t)
+	// The leading column increases with the row index, so each segment
+	// covers a disjoint value range and a range predicate can refute
+	// whole segments.
+	b, err := table.NewBuilder(table.Schema{
+		{Name: "v", Kind: table.Numeric},
+		{Name: "g", Kind: table.Categorical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []string{"a", "b"}
+	for i := 0; i < 2000; i++ {
+		b.MustAppendRow(float64(i), groups[i%2])
+	}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/compress?segment-rows=500", "application/octet-stream", tableBody(t, tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("compress status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Spartan-Segments"); got != "4" {
+		t.Errorf("X-Spartan-Segments = %q, want 4", got)
+	}
+	compressed, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(compressed, []byte("SPARC2\n")) {
+		t.Fatalf("compressed body does not start with the v2 archive magic")
+	}
+
+	// v > 1700 refutes the first three segments ([0,500), [500,1000),
+	// [1000,1500)); only the last can match.
+	resp2, err := http.Post(srv.URL+"/query?agg=count&where=v+%3E+1700",
+		"application/x-spartan", bytes.NewReader(compressed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("query status = %d: %s", resp2.StatusCode, body)
+	}
+	if got := resp2.Header.Get("X-Spartan-Segments-Pruned"); got != "3" {
+		t.Errorf("X-Spartan-Segments-Pruned = %q, want 3", got)
+	}
+	if got := resp2.Header.Get("X-Spartan-Segments-Decoded"); got != "1" {
+		t.Errorf("X-Spartan-Segments-Decoded = %q, want 1", got)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Groups) != 1 || out.Groups[0].Value == nil || *out.Groups[0].Value != 299 {
+		t.Errorf("count response %+v, want one group of 299 rows", out)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`spartan_query_segments_total{result="pruned"} 3`,
+		`spartan_query_segments_total{result="decoded"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	srv := testServer(t)
 	tb := datagen.CDR(100, 3)

@@ -34,9 +34,16 @@ type Tolerances []Tolerance
 // attribute gets catProb. This matches the experimental setup in §4.1 of
 // the paper (e.g. 1% numeric tolerance, 0 categorical tolerance).
 func UniformTolerances(t *Table, numericFrac, catProb float64) Tolerances {
-	tol := make(Tolerances, t.NumCols())
-	for i := 0; i < t.NumCols(); i++ {
-		if t.Attr(i).Kind == Numeric {
+	return UniformTolerancesSchema(t.Schema(), numericFrac, catProb)
+}
+
+// UniformTolerancesSchema is UniformTolerances from a schema alone, for
+// callers that know the attribute kinds without materializing rows (e.g.
+// querying an archive footer before decoding any segment).
+func UniformTolerancesSchema(s Schema, numericFrac, catProb float64) Tolerances {
+	tol := make(Tolerances, len(s))
+	for i := range s {
+		if s[i].Kind == Numeric {
 			tol[i] = Tolerance{Value: numericFrac, Quantile: true}
 		} else {
 			tol[i] = Tolerance{Value: catProb}
@@ -76,9 +83,31 @@ func (tol Tolerances) Resolve(t *Table) (Tolerances, error) {
 	if len(tol) != t.NumCols() {
 		return nil, fmt.Errorf("table: %d tolerances for %d attributes", len(tol), t.NumCols())
 	}
+	ranges := make([]float64, t.NumCols())
+	for i := range ranges {
+		if t.Attr(i).Kind == Numeric {
+			ranges[i] = t.Col(i).Range()
+		}
+	}
+	return tol.ResolveRanges(t.Schema(), ranges)
+}
+
+// ResolveRanges is Resolve against explicit per-attribute value ranges
+// instead of an observed table, for callers that know the ranges without
+// materializing rows (e.g. from an archive footer's zone maps, where
+// resolving against a pruned subset's narrower range would understate
+// the error bound). ranges[i] is the value range (hi − lo) of numeric
+// attribute i and is ignored for categorical attributes.
+func (tol Tolerances) ResolveRanges(schema Schema, ranges []float64) (Tolerances, error) {
+	if len(tol) != len(schema) {
+		return nil, fmt.Errorf("table: %d tolerances for %d attributes", len(tol), len(schema))
+	}
+	if len(ranges) != len(schema) {
+		return nil, fmt.Errorf("table: %d ranges for %d attributes", len(ranges), len(schema))
+	}
 	out := make(Tolerances, len(tol))
 	for i, e := range tol {
-		attr := t.Attr(i)
+		attr := schema[i]
 		if e.Value < 0 {
 			return nil, fmt.Errorf("table: attribute %q has negative tolerance %g", attr.Name, e.Value)
 		}
@@ -89,7 +118,7 @@ func (tol Tolerances) Resolve(t *Table) (Tolerances, error) {
 			}
 			v := e.Value
 			if e.Quantile {
-				v *= t.Col(i).Range()
+				v *= ranges[i]
 			}
 			out[i] = Tolerance{Value: v}
 		case Categorical:
