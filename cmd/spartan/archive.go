@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -35,26 +36,29 @@ func readCompressedFile(path string) (*spartan.Table, error) {
 	return spartan.Decompress(br)
 }
 
+// errNotSegmented reports that a file is not a seekable v2 archive;
+// callers fall back to whole-stream decompression.
+var errNotSegmented = errors.New("not a segmented v2 archive")
+
 // openArchiveFile opens path as a seekable v2 archive, or returns
-// (nil, nil, nil) when the file is not a v2 archive so the caller can
-// fall back to whole-stream decompression. The caller closes the file
-// while the archive is in use.
-func openArchiveFile(path string) (*spartan.Archive, *os.File, error) {
+// errNotSegmented when the file is some other format. The archive owns
+// the underlying file: the caller's Close on the archive closes it.
+func openArchiveFile(path string) (*spartan.Archive, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	head := make([]byte, len(archiveMagicV2))
 	if _, err := io.ReadFull(f, head); err != nil || !bytes.Equal(head, []byte(archiveMagicV2)) {
-		f.Close()
-		return nil, nil, nil
+		_ = f.Close()
+		return nil, errNotSegmented
 	}
 	a, err := spartan.OpenArchive(f)
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		_ = f.Close()
+		return nil, err
 	}
-	return a, f, nil
+	return a, nil
 }
 
 // writeSegmented compresses t into a segmented archive, reporting

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -47,12 +48,16 @@ func cmdQuery(args []string) error {
 	}
 
 	var res *spartan.QueryResult
-	if a, f, err := openArchiveFile(*in); err != nil {
-		return err
-	} else if a != nil {
+	a, err := openArchiveFile(*in)
+	if err != nil {
+		if !errors.Is(err, errNotSegmented) {
+			return err
+		}
+	}
+	if a != nil {
 		// Segmented v2 archive: query through the footer so zone maps can
 		// skip segments the predicate refutes before any decoding.
-		defer f.Close()
+		defer a.Close()
 		pred, err := spartan.ParsePredicate(*where, a.Schema())
 		if err != nil {
 			return err

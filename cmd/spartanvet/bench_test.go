@@ -38,6 +38,8 @@ var benchCorpus = []string{
 	"wiresym",
 	"locksetrace",
 	"hotalloc",
+	"detorder",
+	"closeleak",
 }
 
 type benchPkg struct {

@@ -25,7 +25,14 @@
 // accesses with provably disjoint locksets, gocapture: loop state
 // captured by reference in go closures, boundedspawn: per-row goroutine
 // spawns with no concurrency bound, chanleak: goroutines parked forever
-// on a local channel). A synthetic check, staleignore, flags
+// on a local channel); two ride the per-function effect summaries and
+// effectsummary facts in internal/analysis/effects (detorder:
+// nondeterministic values — map iteration order, the wall clock,
+// unseeded rand, goroutine completion order, addresses — flowing into
+// encoded archive bytes, with sorted-keys / seeded-source /
+// commutative-accumulator idioms as sanitizers; closeleak: opened
+// io.Closer handles not closed on every CFG exit path, defer- and
+// ownership-transfer-aware). A synthetic check, staleignore, flags
 // //spartanvet:ignore directives that no longer suppress anything.
 //
 // It speaks the `go vet` tool protocol; run it through the go command:
@@ -59,6 +66,9 @@ import (
 	"repro/internal/analysis/conc/locksetrace"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/deferloop"
+	"repro/internal/analysis/effects"
+	"repro/internal/analysis/effects/closeleak"
+	"repro/internal/analysis/effects/detorder"
 	"repro/internal/analysis/errcheckio"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/hotalloc"
@@ -100,6 +110,9 @@ var analyzers = []*analysis.Analyzer{
 	gocapture.Analyzer,
 	boundedspawn.Analyzer,
 	chanleak.Analyzer,
+	effects.Analyzer,
+	detorder.Analyzer,
+	closeleak.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,12 @@
+package closeleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/effects/closeleak"
+)
+
+func TestCloseleak(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", closeleak.Analyzer, "closeleak")
+}

@@ -1,0 +1,140 @@
+package closeleak_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/effects/closeleak"
+)
+
+// TestSeedMutation is the analyzer's self-test against the invariant it
+// exists to protect: testdata/seedmutation/segreader.go is a faithful
+// stdlib-only mirror of the segmented reader's open/close discipline.
+// The guarded form must analyze clean, and mechanically deleting the
+// defer-Close statements — the seed mutation a careless refactor would
+// make — must reproduce the closeleak findings with the open→exit path
+// attached.
+func TestSeedMutation(t *testing.T) {
+	const fixture = "testdata/seedmutation/segreader.go"
+
+	if diags := analyze(t, fixture, nil); len(diags) != 0 {
+		t.Fatalf("guarded reader should be clean, got %d findings: %v", len(diags), messages(diags))
+	}
+
+	var deleted int
+	diags := analyze(t, fixture, func(f *ast.File) {
+		deleted = deleteDeferredCloses(f)
+	})
+	if deleted != 2 {
+		t.Fatalf("expected to delete 2 deferred Closes, deleted %d", deleted)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("deleting the Closes should reproduce >= 2 closeleak findings, got %d: %v",
+			len(diags), messages(diags))
+	}
+	for _, d := range diags {
+		if len(d.Related) < 2 {
+			t.Errorf("finding %q should carry an open→exit path, got %d related locations",
+				d.Message, len(d.Related))
+			continue
+		}
+		if !strings.Contains(d.Related[0].Message, "opened here") {
+			t.Errorf("finding %q path should start at the open, starts with %q",
+				d.Message, d.Related[0].Message)
+		}
+		last := d.Related[len(d.Related)-1]
+		if !strings.Contains(last.Message, "open") {
+			t.Errorf("finding %q path should end at the leaking exit, ends with %q",
+				d.Message, last.Message)
+		}
+	}
+	// The interprocedural open — the handle produced by the summarized
+	// openArchive helper — must be among the reproduced findings.
+	var viaHelper *analysis.Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "openArchive") {
+			viaHelper = &diags[i]
+		}
+	}
+	if viaHelper == nil {
+		t.Fatalf("expected a finding through openArchive, got: %v", messages(diags))
+	}
+}
+
+// analyze parses and type-checks the fixture, applies mutate (if any),
+// and returns closeleak's diagnostics.
+func analyze(t *testing.T, path string, mutate func(*ast.File)) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	files := []*ast.File{f}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("archive", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(closeleak.Analyzer, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := closeleak.Analyzer.Run(pass); err != nil {
+		t.Fatalf("running closeleak: %v", err)
+	}
+	return diags
+}
+
+// deleteDeferredCloses removes every `defer x.Close()` statement and
+// reports how many it removed.
+func deleteDeferredCloses(f *ast.File) int {
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		blk, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		kept := blk.List[:0]
+		for _, st := range blk.List {
+			if ds, ok := st.(*ast.DeferStmt); ok && isCloseCall(ds.Call) {
+				n++
+				continue
+			}
+			kept = append(kept, st)
+		}
+		blk.List = kept
+		return true
+	})
+	return n
+}
+
+func isCloseCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

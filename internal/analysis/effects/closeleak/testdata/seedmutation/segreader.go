@@ -1,0 +1,51 @@
+// Fixture mirror of the segmented reader's open/close discipline: a
+// stdlib-only copy of how the CLI opens an archive, parses the footer
+// trailer, and scans segment bodies, closing the handle on every exit
+// path. The defer-Close guards are what the closeleak seed-mutation
+// test deletes.
+package archive
+
+import "os"
+
+// openArchive opens the archive file and transfers ownership to the
+// caller — its effect summary records the open result.
+func openArchive(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// readTrailer opens through the helper and must close on the success
+// path and on the short-read error path alike.
+func readTrailer(path string) ([]byte, error) {
+	f, err := openArchive(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var trailer [16]byte
+	if _, err := f.Read(trailer[:]); err != nil {
+		return nil, err
+	}
+	return trailer[:], nil
+}
+
+// scanSegments reads segment frames until the footer offset.
+func scanSegments(path string, end int64) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	segs := 0
+	var frame [8]byte
+	for off := int64(0); off < end; off += int64(len(frame)) {
+		if _, err := f.ReadAt(frame[:], off); err != nil {
+			return segs, err
+		}
+		segs++
+	}
+	return segs, nil
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/effects/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analyzertest.Run(t, "../../testdata", detorder.Analyzer, "detorder")
+}

@@ -1,0 +1,153 @@
+package detorder_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/effects/detorder"
+)
+
+// TestSeedMutation is the analyzer's self-test against the invariant it
+// exists to protect: testdata/seedmutation/segwriter.go is a faithful
+// stdlib-only mirror of the segmented writer's dictionary path, guarded
+// by the sorted-keys discipline. The guarded form must analyze clean,
+// and mechanically deleting the sort.Strings call — the seed mutation a
+// careless refactor would make — must reproduce the detorder finding
+// with the full map-range→wire path attached.
+func TestSeedMutation(t *testing.T) {
+	const fixture = "testdata/seedmutation/segwriter.go"
+
+	if diags := analyze(t, fixture, nil); len(diags) != 0 {
+		t.Fatalf("sorted writer should be clean, got %d findings: %v", len(diags), messages(diags))
+	}
+
+	var deleted int
+	diags := analyze(t, fixture, func(f *ast.File) {
+		deleted = deleteSortCalls(f)
+	})
+	if deleted != 1 {
+		t.Fatalf("expected to delete exactly 1 sort.Strings call, deleted %d", deleted)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("deleting the sort should reproduce a detorder finding, got none")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "map iteration order") {
+			t.Errorf("finding %q should name map iteration order", d.Message)
+		}
+		if len(d.Related) < 2 {
+			t.Errorf("finding %q should carry a source→sink path, got %d related locations",
+				d.Message, len(d.Related))
+			continue
+		}
+		if !strings.Contains(d.Related[0].Message, "map iterated") {
+			t.Errorf("finding %q path should start at the map range, starts with %q",
+				d.Message, d.Related[0].Message)
+		}
+		last := d.Related[len(d.Related)-1]
+		if !strings.Contains(last.Message, "output stream") {
+			t.Errorf("finding %q path should end at the wire write, ends with %q",
+				d.Message, last.Message)
+		}
+	}
+	// The interprocedural flow — the unsorted dictionary leaving
+	// collectDict and hitting the stream through putString — must be
+	// among the reproduced findings.
+	var viaHelper *analysis.Diagnostic
+	for i := range diags {
+		for _, rl := range diags[i].Related {
+			if strings.Contains(rl.Message, "putString") {
+				viaHelper = &diags[i]
+			}
+		}
+	}
+	if viaHelper == nil {
+		t.Fatalf("expected a finding through putString, got: %v", messages(diags))
+	}
+}
+
+// analyze parses and type-checks the fixture, applies mutate (if any),
+// and returns detorder's diagnostics.
+func analyze(t *testing.T, path string, mutate func(*ast.File)) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if mutate != nil {
+		mutate(f)
+	}
+	files := []*ast.File{f}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("archive", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(detorder.Analyzer, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := detorder.Analyzer.Run(pass); err != nil {
+		t.Fatalf("running detorder: %v", err)
+	}
+	return diags
+}
+
+// deleteSortCalls removes every sort.Strings(...) expression statement
+// and reports how many it removed.
+func deleteSortCalls(f *ast.File) int {
+	n := 0
+	ast.Inspect(f, func(node ast.Node) bool {
+		blk, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		kept := blk.List[:0]
+		for _, st := range blk.List {
+			if es, ok := st.(*ast.ExprStmt); ok && isSortStrings(es.X) {
+				n++
+				continue
+			}
+			kept = append(kept, st)
+		}
+		blk.List = kept
+		return true
+	})
+	return n
+}
+
+func isSortStrings(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Strings" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sort"
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Fixture mirror of the segmented writer's dictionary path: a
+// stdlib-only copy of how internal/archive builds a categorical
+// dictionary (collect the distinct values into a map, sort, number in
+// sorted order), computes the zone-map fingerprint, and encodes both
+// into the segment stream. The sorted-keys discipline is the guard the
+// detorder seed-mutation test deletes.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// collectDict numbers the distinct values of a categorical column in
+// sorted order: the dictionary bytes are a pure function of the value
+// set, never of map iteration order.
+func collectDict(values []string) []string {
+	seen := map[string]struct{}{}
+	for _, v := range values {
+		seen[v] = struct{}{}
+	}
+	dict := make([]string, 0, len(seen))
+	for k := range seen {
+		dict = append(dict, k)
+	}
+	sort.Strings(dict)
+	return dict
+}
+
+// codeOf resolves a value to its dictionary code by binary search,
+// valid because the dictionary is sorted.
+func codeOf(dict []string, v string) int {
+	return sort.SearchStrings(dict, v)
+}
+
+// fpBit hashes a dictionary value to its zone-map fingerprint bit.
+func fpBit(value string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(value))
+	return 1 << (h.Sum64() % 64)
+}
+
+// putString writes one length-prefixed dictionary entry.
+func putString(w *bytes.Buffer, s string) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+	w.Write(b[:])
+	w.WriteString(s)
+}
+
+// writeSegmentDict encodes the dictionary followed by the segment's
+// fingerprint. The fingerprint OR-fold is commutative — order-free by
+// construction — while the entry bytes rely on collectDict's sort.
+func writeSegmentDict(w *bytes.Buffer, values []string) {
+	dict := collectDict(values)
+	var fp uint64
+	for _, s := range dict {
+		fp |= fpBit(s)
+		putString(w, s)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], fp)
+	w.Write(b[:])
+}

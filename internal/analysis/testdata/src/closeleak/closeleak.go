@@ -1,0 +1,137 @@
+// Fixture for the closeleak analyzer: open handles must be closed on
+// every CFG exit path, returned, stored, or handed to a closer.
+package closeleak
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+// An early error return between the open and the Close leaks the
+// descriptor.
+func badEarlyReturn(path string) ([]byte, error) {
+	f, err := os.Open(path) // want `os.Open is opened here but a path returns without closing it`
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	f.Close()
+	return buf, nil
+}
+
+// The canonical shape: defer the Close right after the error check.
+func goodDeferred(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// A defer placed after another early exit covers only the paths that
+// reach it.
+func badLateDefer(path string, skip bool) error {
+	f, err := os.Open(path) // want `os.Open is opened here but a path returns without closing it`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	defer f.Close()
+	return nil
+}
+
+// Returning the handle transfers ownership to the caller.
+func goodReturned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// closeQuietly is a summarized closer: passing a handle to it
+// discharges the obligation.
+func closeQuietly(c io.Closer) {
+	_ = c.Close()
+}
+
+func goodViaCloser(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	closeQuietly(f)
+	return nil
+}
+
+// reader owns its file: storing the handle in the returned struct
+// moves the obligation to reader.Close.
+type reader struct {
+	f *os.File
+}
+
+func (r *reader) Close() error { return r.f.Close() }
+
+func goodStored(path string) (*reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &reader{f: f}, nil
+}
+
+// goodReturned has an open result in its effect summary, so its
+// callers inherit the obligation — and leak it the same way.
+func badViaHelper(path string) error {
+	f, err := goodReturned(path) // want `goodReturned \(os.Open\) is opened here but a path returns without closing it`
+	if err != nil {
+		return err
+	}
+	var b [4]byte
+	if _, err := f.Read(b[:]); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Network connections carry the same obligation.
+func badConn(addr string) error {
+	c, err := net.Dial("tcp", addr) // want `net.Dial is opened here but a path returns without closing it`
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// A closure capturing the handle owns it.
+func goodClosure(path string) (func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return f.Close() }, nil
+}
+
+// Falling off the end with the handle still open leaks it too.
+func badFallOff(path string) {
+	f, err := os.Open(path) // want `os.Open is opened here but a path function ends without closing it`
+	if err != nil {
+		return
+	}
+	var b [4]byte
+	_, _ = f.Read(b[:])
+}

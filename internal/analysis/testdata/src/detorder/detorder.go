@@ -1,0 +1,145 @@
+// Fixture for the detorder analyzer: package base name "archive" puts
+// it in scope, mirroring the segmented writer's encoding paths.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Map keys written in iteration order: two runs of the same table
+// produce different bytes.
+func badDictOrder(w *bytes.Buffer, dict map[string]uint32) {
+	for k := range dict {
+		w.WriteString(k) // want `depends on map iteration order`
+	}
+}
+
+// The sorted-keys idiom is the sanitizer: collect, sort, then encode.
+func goodDictOrder(w *bytes.Buffer, dict map[string]uint32) {
+	keys := make([]string, 0, len(dict))
+	for k := range dict {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.WriteString(k)
+	}
+}
+
+// Keyed stores inside a range are order-independent; encoding the
+// collected state through sorted keys stays clean.
+func goodKeyedCollect(w *bytes.Buffer, counts map[string]int) {
+	total := 0
+	for _, n := range counts {
+		total += n // commutative integer accumulator
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(total))
+	w.Write(b[:])
+}
+
+// A wall-clock reading encoded into the stream.
+func badTimestamp(w io.Writer) error {
+	now := time.Now().Unix()
+	return binary.Write(w, binary.LittleEndian, now) // want `depends on the wall clock`
+}
+
+// The shared global rand source differs between runs.
+func badSharedRand(w *bytes.Buffer) {
+	id := rand.Uint64()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	w.Write(b[:]) // want `depends on an unseeded random source`
+}
+
+// A source seeded from the options is a pure function of the seed.
+func goodSeededRand(w *bytes.Buffer, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	id := r.Uint64()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	w.Write(b[:])
+}
+
+// XOR of per-key FNV hashes is commutative: the canonical zone-map
+// fingerprint idiom, order-independent by construction.
+func goodXorFingerprint(w *bytes.Buffer, dict map[string]uint32) {
+	var fp uint64
+	for k := range dict {
+		h := fnv.New64a()
+		h.Write([]byte(k))
+		fp ^= h.Sum64()
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], fp)
+	w.Write(b[:])
+}
+
+// A digest fed in iteration order is order-dependent; the taint rides
+// the local hash state and the function's result summary, surfacing
+// where the fingerprint is encoded.
+func badHashedOrder(dict map[string]uint32) uint64 {
+	h := fnv.New64a()
+	for k := range dict {
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+func badFingerprintFooter(w *bytes.Buffer, dict map[string]uint32) {
+	fp := badHashedOrder(dict)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], fp)
+	w.Write(b[:]) // want `depends on map iteration order`
+}
+
+// nowMillis hides the clock behind a helper; the effect summary makes
+// the flow visible at the caller's write.
+func nowMillis() int64 {
+	return time.Now().UnixMilli()
+}
+
+func badViaHelper(w io.Writer) error {
+	stamp := nowMillis()
+	return binary.Write(w, binary.LittleEndian, stamp) // want `depends on the wall clock`
+}
+
+// An address formatted into the stream differs per process.
+func badAddrVerb(w *bytes.Buffer, v *int) {
+	fmt.Fprintf(w, "%p", v) // want `formatted into the output stream`
+}
+
+// Last-writer-wins selection over a map picks an arbitrary winner...
+func badLastWriter(w *bytes.Buffer, dict map[string]uint32) {
+	var last string
+	for k := range dict {
+		last = k
+	}
+	w.WriteString(last) // want `depends on map iteration order`
+}
+
+// ...but a strict comparison on the range key breaks ties
+// deterministically: the argmax idiom.
+func goodTieBroken(w *bytes.Buffer, dict map[string]uint32) {
+	var best string
+	for k := range dict {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	w.WriteString(best)
+}
+
+// Console output is diagnostics, not archive bytes.
+func goodConsole(dict map[string]uint32) {
+	for k := range dict {
+		fmt.Println(k)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -213,6 +214,28 @@ type SegReader struct {
 	segs   []SegmentInfo
 	size   int64
 	rows   int
+	closed bool
+}
+
+// ErrReaderClosed is returned by segment reads attempted after Close.
+var ErrReaderClosed = errors.New("archive: reader is closed")
+
+// Close releases the reader. When the underlying stream is itself an
+// io.Closer — an *os.File, a network body — it is closed too; an
+// in-memory reader just drops the reference. Close is idempotent and
+// nil-receiver-safe: second and later calls, and calls on a nil
+// reader, return nil. Reads after Close fail with ErrReaderClosed.
+func (sr *SegReader) Close() error {
+	if sr == nil || sr.closed {
+		return nil
+	}
+	sr.closed = true
+	r := sr.r
+	sr.r = nil
+	if c, ok := r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // OpenSegmented parses the footer of a seekable v2 archive with default
@@ -298,6 +321,9 @@ func (sr *SegReader) TotalRows() int { return sr.rows }
 
 // frame reads segment i's raw compressed bytes.
 func (sr *SegReader) frame(i int) ([]byte, error) {
+	if sr.closed {
+		return nil, ErrReaderClosed
+	}
 	seg := sr.segs[i]
 	if _, err := sr.r.Seek(seg.Offset, io.SeekStart); err != nil {
 		return nil, err
@@ -358,6 +384,9 @@ type QueryStats struct {
 // so the result — definite rows, uncertain rows and interval bounds —
 // is identical to decoding every segment and querying the whole table.
 func (sr *SegReader) Query(tol table.Tolerances, q query.Query) (*query.Result, *QueryStats, error) {
+	if sr.closed {
+		return nil, nil, ErrReaderClosed
+	}
 	if len(sr.segs) == 0 {
 		return nil, nil, ErrEmptyArchive
 	}
